@@ -1,0 +1,210 @@
+//! Measured end-to-end latency of computation chains.
+//!
+//! Implements the extension sketched in Sec. VII of the paper: "We are
+//! logging the source timestamp of data on publisher and subscriber sides
+//! using which we can traverse data flow through a computation chain and
+//! calculate its end-to-end latency." Starting from every publication on a
+//! source topic, the data flow is followed through (topic, srcTS) matches
+//! — a take with the same source timestamp identifies the consuming
+//! callback instance, whose own `dds_write` events continue the lineage —
+//! until a write on the sink topic is reached.
+//!
+//! Lineages can die naturally: a synchronizer's output is published by the
+//! *last-arriving* member instance, so data consumed by the other member
+//! has no continuation; such samples produce no measurement.
+
+use rtms_trace::{Nanos, Pid, RosPayload, SourceTimestamp, Trace};
+use std::collections::{HashMap, HashSet};
+
+/// One successful source-to-sink traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct E2eMeasurement {
+    /// When the source sample was written.
+    pub source_write: Nanos,
+    /// When the sink sample derived from it was written.
+    pub sink_write: Nanos,
+    /// `sink_write - source_write`.
+    pub latency: Nanos,
+}
+
+#[derive(Debug)]
+struct Instance {
+    start: Nanos,
+    end: Nanos,
+    /// `(time, topic name, srcTS)` of writes inside the window.
+    writes: Vec<(Nanos, String, SourceTimestamp)>,
+}
+
+/// Per-node instance windows with their writes, plus a take index.
+struct FlowIndex {
+    instances: HashMap<Pid, Vec<Instance>>,
+    /// srcTS -> consuming (pid, take time) pairs.
+    takes: HashMap<SourceTimestamp, Vec<(Pid, Nanos)>>,
+}
+
+impl FlowIndex {
+    fn build(trace: &Trace) -> FlowIndex {
+        let mut instances: HashMap<Pid, Vec<Instance>> = HashMap::new();
+        let mut open: HashMap<Pid, Instance> = HashMap::new();
+        let mut takes: HashMap<SourceTimestamp, Vec<(Pid, Nanos)>> = HashMap::new();
+        let mut events = trace.ros_events().to_vec();
+        events.sort_by_key(|e| e.time);
+        for e in &events {
+            match &e.payload {
+                RosPayload::CallbackStart { .. } => {
+                    open.insert(
+                        e.pid,
+                        Instance { start: e.time, end: Nanos::MAX, writes: Vec::new() },
+                    );
+                }
+                RosPayload::TakeData { src_ts, .. }
+                | RosPayload::TakeRequest { src_ts, .. }
+                | RosPayload::TakeResponse { src_ts, .. } => {
+                    takes.entry(*src_ts).or_default().push((e.pid, e.time));
+                }
+                RosPayload::DdsWrite { topic, src_ts } => {
+                    if let Some(inst) = open.get_mut(&e.pid) {
+                        inst.writes.push((e.time, topic.name().to_string(), *src_ts));
+                    }
+                }
+                RosPayload::CallbackEnd { .. } => {
+                    if let Some(mut inst) = open.remove(&e.pid) {
+                        inst.end = e.time;
+                        instances.entry(e.pid).or_default().push(inst);
+                    }
+                }
+                _ => {}
+            }
+        }
+        FlowIndex { instances, takes }
+    }
+
+    /// The instance of `pid` whose window contains `t`.
+    fn instance_at(&self, pid: Pid, t: Nanos) -> Option<&Instance> {
+        self.instances.get(&pid)?.iter().find(|i| i.start <= t && t <= i.end)
+    }
+}
+
+/// Measures the end-to-end latency from every publication on
+/// `source_topic` to the derived publication on `sink_topic`.
+///
+/// Returns one measurement per source sample whose lineage reaches the
+/// sink. Chains that fork reach the sink at most once per source sample
+/// (the earliest arrival is reported).
+pub fn end_to_end_latencies(
+    trace: &Trace,
+    source_topic: &str,
+    sink_topic: &str,
+) -> Vec<E2eMeasurement> {
+    let index = FlowIndex::build(trace);
+    let mut events = trace.ros_events().to_vec();
+    events.sort_by_key(|e| e.time);
+
+    let sources: Vec<(Nanos, SourceTimestamp)> = events
+        .iter()
+        .filter_map(|e| match &e.payload {
+            RosPayload::DdsWrite { topic, src_ts } if topic.name() == source_topic => {
+                Some((e.time, *src_ts))
+            }
+            _ => None,
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (t0, s0) in sources {
+        let mut best: Option<Nanos> = None;
+        let mut frontier = vec![s0];
+        let mut visited: HashSet<SourceTimestamp> = HashSet::new();
+        while let Some(s) = frontier.pop() {
+            if !visited.insert(s) {
+                continue;
+            }
+            let Some(consumers) = index.takes.get(&s) else { continue };
+            for &(pid, take_time) in consumers {
+                let Some(inst) = index.instance_at(pid, take_time) else { continue };
+                for (wt, wtopic, wts) in &inst.writes {
+                    if wtopic == sink_topic {
+                        best = Some(best.map_or(*wt, |b: Nanos| b.min(*wt)));
+                    } else {
+                        frontier.push(*wts);
+                    }
+                }
+            }
+        }
+        if let Some(sink_write) = best {
+            out.push(E2eMeasurement { source_write: t0, sink_write, latency: sink_write - t0 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_trace::{CallbackId, CallbackKind, RosEvent, Topic};
+
+    fn ev(ms: u64, pid: u32, payload: RosPayload) -> RosEvent {
+        RosEvent::new(Nanos::from_millis(ms), Pid::new(pid), payload)
+    }
+
+    /// T (pid 1) writes /a at 1ms; S1 (pid 2) takes it at 5ms, writes /b at
+    /// 8ms; S2 (pid 3) takes /b at 10ms, writes /c at 14ms.
+    fn chain_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push_ros(ev(0, 1, RosPayload::CallbackStart { kind: CallbackKind::Timer }));
+        t.push_ros(ev(0, 1, RosPayload::TimerCall { callback: CallbackId::new(1) }));
+        t.push_ros(ev(1, 1, RosPayload::DdsWrite {
+            topic: Topic::plain("/a"),
+            src_ts: SourceTimestamp::new(100),
+        }));
+        t.push_ros(ev(1, 1, RosPayload::CallbackEnd { kind: CallbackKind::Timer }));
+        t.push_ros(ev(5, 2, RosPayload::CallbackStart { kind: CallbackKind::Subscriber }));
+        t.push_ros(ev(5, 2, RosPayload::TakeData {
+            callback: CallbackId::new(2),
+            topic: Topic::plain("/a"),
+            src_ts: SourceTimestamp::new(100),
+        }));
+        t.push_ros(ev(8, 2, RosPayload::DdsWrite {
+            topic: Topic::plain("/b"),
+            src_ts: SourceTimestamp::new(101),
+        }));
+        t.push_ros(ev(8, 2, RosPayload::CallbackEnd { kind: CallbackKind::Subscriber }));
+        t.push_ros(ev(10, 3, RosPayload::CallbackStart { kind: CallbackKind::Subscriber }));
+        t.push_ros(ev(10, 3, RosPayload::TakeData {
+            callback: CallbackId::new(3),
+            topic: Topic::plain("/b"),
+            src_ts: SourceTimestamp::new(101),
+        }));
+        t.push_ros(ev(14, 3, RosPayload::DdsWrite {
+            topic: Topic::plain("/c"),
+            src_ts: SourceTimestamp::new(102),
+        }));
+        t.push_ros(ev(14, 3, RosPayload::CallbackEnd { kind: CallbackKind::Subscriber }));
+        t
+    }
+
+    #[test]
+    fn follows_src_ts_lineage() {
+        let trace = chain_trace();
+        let m = end_to_end_latencies(&trace, "/a", "/c");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].source_write, Nanos::from_millis(1));
+        assert_eq!(m[0].sink_write, Nanos::from_millis(14));
+        assert_eq!(m[0].latency, Nanos::from_millis(13));
+    }
+
+    #[test]
+    fn intermediate_hop_also_measurable() {
+        let trace = chain_trace();
+        let m = end_to_end_latencies(&trace, "/a", "/b");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].latency, Nanos::from_millis(7));
+    }
+
+    #[test]
+    fn dead_lineage_yields_no_measurement() {
+        let trace = chain_trace();
+        assert!(end_to_end_latencies(&trace, "/a", "/nope").is_empty());
+        assert!(end_to_end_latencies(&trace, "/c", "/a").is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Downstream timing analyses over synthesized models.
+//!
+//! The paper positions its DAG as the input to existing analysis and
+//! optimization techniques. This crate provides representative consumers:
+//!
+//! - [`chains`]: enumerate computation chains (root-to-sink paths) and
+//!   compute simple latency bounds from the measured attributes.
+//! - [`load`]: per-callback and per-node processor load (e.g. the paper's
+//!   observation that cb2 averages a 27 % core load at 10 Hz), for
+//!   load-balancing and core-binding decisions.
+//! - [`e2e`]: *measured* end-to-end latency of a topic chain by traversing
+//!   the data flow through source timestamps — the Sec. VII extension the
+//!   paper sketches ("we are logging the source timestamp of data on
+//!   publisher and subscriber sides ...").
+//! - [`waiting`]: callback waiting times from `sched_wakeup` events — the
+//!   other Sec. VII extension.
+//! - [`optimize`]: chain-aware priority and core-binding proposals from
+//!   the measured model (the optimization loop Sec. VII motivates).
+//! - [`ablation`]: quantifies why a multi-caller service must be split
+//!   into per-caller vertices (Sec. IV): with a single vertex, spurious
+//!   cross-caller chains appear.
+
+pub mod ablation;
+pub mod chains;
+pub mod e2e;
+pub mod load;
+pub mod optimize;
+pub mod waiting;
+
+pub use ablation::{spurious_chain_report, SpuriousChains};
+pub use chains::{enumerate_chains, latency_bound, Chain};
+pub use e2e::{end_to_end_latencies, E2eMeasurement};
+pub use load::{callback_load, node_loads, NodeLoad};
+pub use optimize::{propose_schedule, propose_schedule_for, NodeAssignment, ScheduleProposal};
+pub use waiting::{waiting_times, WaitMeasurement};

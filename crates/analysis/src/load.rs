@@ -1,0 +1,102 @@
+//! Processor-load accounting from the synthesized model.
+//!
+//! The paper notes that its measurements are "useful even for simple
+//! debugging and optimization, e.g., balancing load across processor cores
+//! or keeping the load below a certain threshold while determining core
+//! bindings" — and quotes cb2's 27 % average core load as the example.
+
+use rtms_core::{Dag, VertexKind};
+use rtms_trace::Nanos;
+
+/// Average processor load of one vertex over an observation window:
+/// total measured execution time divided by the window length.
+pub fn callback_load(dag: &Dag, vertex: rtms_core::VertexId, window: Nanos) -> f64 {
+    if window == Nanos::ZERO {
+        return 0.0;
+    }
+    let v = dag.vertex(vertex);
+    let total: u64 = v.exec_times.iter().map(|e| e.as_nanos()).sum();
+    total as f64 / window.as_nanos() as f64
+}
+
+/// Aggregated load of one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLoad {
+    /// The node name.
+    pub node: String,
+    /// Sum of its callbacks' loads (fraction of one core).
+    pub load: f64,
+}
+
+/// Per-node processor loads over an observation window, sorted descending —
+/// the input to a load-balancing / core-binding decision.
+pub fn node_loads(dag: &Dag, window: Nanos) -> Vec<NodeLoad> {
+    let mut nodes: Vec<String> = dag.vertices().iter().map(|v| v.node.clone()).collect();
+    nodes.sort();
+    nodes.dedup();
+    let mut out: Vec<NodeLoad> = nodes
+        .into_iter()
+        .map(|node| {
+            let load = dag
+                .vertex_ids()
+                .filter(|&v| dag.vertex(v).node == node)
+                .filter(|&v| dag.vertex(v).kind != VertexKind::AndJunction)
+                .map(|v| callback_load(dag, v, window))
+                .sum();
+            NodeLoad { node, load }
+        })
+        .collect();
+    out.sort_by(|a, b| b.load.total_cmp(&a.load));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_core::{CallbackRecord, CbList, ExecStats};
+    use rtms_trace::{CallbackId, CallbackKind, Pid};
+    use std::collections::HashMap;
+
+    fn dag_one_cb(samples_ms: &[u64]) -> Dag {
+        let times: Vec<Nanos> = samples_ms.iter().map(|&m| Nanos::from_millis(m)).collect();
+        let rec = CallbackRecord {
+            pid: Pid::new(1),
+            id: CallbackId::new(1),
+            kind: CallbackKind::Subscriber,
+            in_topic: Some("/in".into()),
+            out_topics: vec![],
+            is_sync_subscriber: false,
+            stats: ExecStats::from_samples(times.iter().copied()),
+            exec_times: times,
+            start_times: vec![Nanos::ZERO],
+        };
+        let list: CbList = [rec].into_iter().collect();
+        let names: HashMap<Pid, String> = [(Pid::new(1), "n".to_string())].into();
+        Dag::from_cblists(&[(Pid::new(1), list)], &names)
+    }
+
+    #[test]
+    fn load_is_exec_over_window() {
+        // 10 instances of 27 ms over 1 s => 27% — the paper's cb2 example.
+        let dag = dag_one_cb(&[27; 10]);
+        let v = dag.vertex_ids().next().expect("vertex");
+        let load = callback_load(&dag, v, Nanos::from_secs(1));
+        assert!((load - 0.27).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_loads_sorted_descending() {
+        let dag = dag_one_cb(&[10; 5]);
+        let loads = node_loads(&dag, Nanos::from_secs(1));
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].node, "n");
+        assert!((loads[0].load - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_is_zero_load() {
+        let dag = dag_one_cb(&[10]);
+        let v = dag.vertex_ids().next().expect("vertex");
+        assert_eq!(callback_load(&dag, v, Nanos::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Callback waiting-time measurement (Sec. VII extension).
+//!
+//! "We can add a tracepoint to `sched_wakeup` and compute the waiting time
+//! of a callback" — the delay between the executor thread becoming
+//! runnable (data arrived, thread woken) and the callback actually
+//! starting (thread scheduled, `execute_*` entered). Large waiting times
+//! reveal scheduling interference that execution-time measurements alone
+//! cannot show.
+
+use rtms_trace::{Nanos, Pid, RosPayload, SchedEventKind, Trace};
+
+/// One measured wait: the gap between the executor's wakeup and the
+/// callback-start event that followed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitMeasurement {
+    /// When the executor thread was woken.
+    pub wakeup: Nanos,
+    /// When the callback started.
+    pub start: Nanos,
+    /// `start - wakeup`.
+    pub waiting: Nanos,
+}
+
+/// Measures the waiting time of every callback instance of `pid`: for each
+/// callback-start event, the last `sched_wakeup` of the thread since the
+/// previous callback end.
+///
+/// Requires a trace recorded with wakeups enabled
+/// (`WorldBuilder::record_wakeups`); callback instances with no preceding
+/// wakeup in their idle window (e.g. back-to-back dispatch from a
+/// non-empty queue) are skipped.
+pub fn waiting_times(trace: &Trace, pid: Pid) -> Vec<WaitMeasurement> {
+    let mut wakeups: Vec<Nanos> = trace
+        .sched_events()
+        .iter()
+        .filter_map(|e| match &e.kind {
+            SchedEventKind::Wakeup { pid: woken, .. } if *woken == pid => Some(e.time),
+            _ => None,
+        })
+        .collect();
+    wakeups.sort();
+
+    let mut out = Vec::new();
+    let mut idle_since = Nanos::ZERO;
+    for ev in trace.ros_events_for(pid) {
+        match &ev.payload {
+            RosPayload::CallbackStart { .. } => {
+                // Last wakeup inside the idle window (idle_since, ev.time].
+                let wake = wakeups
+                    .iter()
+                    .rev()
+                    .find(|&&w| w > idle_since && w <= ev.time)
+                    .copied();
+                if let Some(wakeup) = wake {
+                    out.push(WaitMeasurement {
+                        wakeup,
+                        start: ev.time,
+                        waiting: ev.time - wakeup,
+                    });
+                }
+            }
+            RosPayload::CallbackEnd { .. } => {
+                idle_since = ev.time;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_trace::{CallbackKind, Cpu, Priority, RosEvent, SchedEvent};
+
+    #[test]
+    fn wait_measured_between_wakeup_and_start() {
+        let pid = Pid::new(5);
+        let mut trace = Trace::new();
+        trace.push_sched(SchedEvent::wakeup(
+            Nanos::from_millis(10),
+            Cpu::new(0),
+            pid,
+            Priority::NORMAL,
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::from_millis(13),
+            pid,
+            RosPayload::CallbackStart { kind: CallbackKind::Subscriber },
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::from_millis(15),
+            pid,
+            RosPayload::CallbackEnd { kind: CallbackKind::Subscriber },
+        ));
+        let waits = waiting_times(&trace, pid);
+        assert_eq!(waits.len(), 1);
+        assert_eq!(waits[0].waiting, Nanos::from_millis(3));
+    }
+
+    #[test]
+    fn wakeups_before_previous_end_are_not_reused() {
+        let pid = Pid::new(5);
+        let mut trace = Trace::new();
+        // Wakeup for instance 1.
+        trace.push_sched(SchedEvent::wakeup(Nanos::from_millis(1), Cpu::new(0), pid, Priority::NORMAL));
+        trace.push_ros(RosEvent::new(
+            Nanos::from_millis(2),
+            pid,
+            RosPayload::CallbackStart { kind: CallbackKind::Timer },
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::from_millis(4),
+            pid,
+            RosPayload::CallbackEnd { kind: CallbackKind::Timer },
+        ));
+        // Instance 2 starts with no fresh wakeup: skipped.
+        trace.push_ros(RosEvent::new(
+            Nanos::from_millis(6),
+            pid,
+            RosPayload::CallbackStart { kind: CallbackKind::Timer },
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::from_millis(8),
+            pid,
+            RosPayload::CallbackEnd { kind: CallbackKind::Timer },
+        ));
+        let waits = waiting_times(&trace, pid);
+        assert_eq!(waits.len(), 1);
+        assert_eq!(waits[0].waiting, Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn empty_trace_no_waits() {
+        assert!(waiting_times(&Trace::new(), Pid::new(1)).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Cost of Algorithm 1 (callback extraction) and full model synthesis as a
+//! function of trace length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtms_core::{extract_callbacks, synthesize};
+use rtms_trace::{Nanos, Trace};
+use rtms_workloads::case_study_world;
+use std::hint::black_box;
+
+fn traces() -> Vec<(u64, Trace)> {
+    [2u64, 5, 10]
+        .into_iter()
+        .map(|secs| {
+            let mut world = case_study_world(1, 1.0);
+            (secs, world.trace_run(Nanos::from_secs(secs)))
+        })
+        .collect()
+}
+
+fn bench_alg1(c: &mut Criterion) {
+    let inputs = traces();
+    let mut group = c.benchmark_group("alg1");
+    group.sample_size(10);
+    for (secs, trace) in &inputs {
+        group.bench_with_input(
+            BenchmarkId::new("extract_one_node", format!("{secs}s")),
+            trace,
+            |b, t| {
+                let pid = t.ros_pids()[2]; // a busy AVP node
+                b.iter(|| black_box(extract_callbacks(pid, t)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_full_model", format!("{secs}s")),
+            trace,
+            |b, t| b.iter(|| black_box(synthesize(t))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg1);
+criterion_main!(benches);

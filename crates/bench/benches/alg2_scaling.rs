@@ -1,0 +1,51 @@
+//! Cost of Algorithm 2 (execution-time measurement) as a function of the
+//! scheduler-event stream length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtms_core::execution_time;
+use rtms_trace::{Cpu, Nanos, Pid, Priority, SchedEvent, ThreadState};
+use std::hint::black_box;
+
+/// Builds a synthetic sched stream: the measured thread alternates 100 µs
+/// on / 100 µs off with an interfering thread.
+fn sched_stream(events: usize) -> Vec<SchedEvent> {
+    let t = Pid::new(7);
+    let other = Pid::new(8);
+    (0..events)
+        .map(|i| {
+            let time = Nanos::from_micros(100 * (i as u64 + 1));
+            let (prev, next) = if i % 2 == 0 { (t, other) } else { (other, t) };
+            SchedEvent::switch(
+                time,
+                Cpu::new(0),
+                prev,
+                Priority::NORMAL,
+                ThreadState::Runnable,
+                next,
+                Priority::NORMAL,
+            )
+        })
+        .collect()
+}
+
+fn bench_alg2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2");
+    for n in [1_000usize, 10_000, 100_000] {
+        let stream = sched_stream(n);
+        let end = Nanos::from_micros(100 * (n as u64 - 10));
+        group.bench_with_input(BenchmarkId::new("execution_time", n), &stream, |b, s| {
+            b.iter(|| {
+                black_box(execution_time(
+                    Nanos::from_micros(50),
+                    end,
+                    Pid::new(7),
+                    black_box(s),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg2);
+criterion_main!(benches);

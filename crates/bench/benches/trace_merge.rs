@@ -1,0 +1,43 @@
+//! Cost of the two merge paths of Fig. 2: merging raw traces versus
+//! merging synthesized DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtms_core::{merge_dags, synthesize, Dag};
+use rtms_trace::{Nanos, Trace};
+use rtms_workloads::case_study_world;
+use std::hint::black_box;
+
+fn run_traces(n: usize) -> Vec<Trace> {
+    (0..n)
+        .map(|i| {
+            let mut world = case_study_world(i as u64, 1.0);
+            world.trace_run(Nanos::from_secs(2))
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let traces = run_traces(8);
+    let dags: Vec<Dag> = traces.iter().map(synthesize).collect();
+
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("traces", n), &traces[..n], |b, ts| {
+            b.iter(|| {
+                let mut acc = Trace::new();
+                for t in ts {
+                    acc.merge(t.clone());
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dags", n), &dags[..n], |b, ds| {
+            b.iter(|| black_box(merge_dags(ds.iter().cloned())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

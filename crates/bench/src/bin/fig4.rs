@@ -1,0 +1,55 @@
+//! Regenerates Fig. 4: the evolution of mWCET/mACET/mBCET estimates for
+//! cb1 (filter_rear), cb2 (filter_front), cb5 (voxel_grid) and cb6
+//! (localizer) as DAGs from more runs are merged.
+//!
+//! Usage: `cargo run -p rtms-bench --bin fig4 [runs=50] [secs=80] [seed=7]`
+
+use rtms_bench::{arg_u64, avp_vertex_key, parse_args};
+use rtms_core::ConvergenceSeries;
+use rtms_trace::Nanos;
+use rtms_workloads::synthesize_runs;
+
+fn main() {
+    let args = parse_args();
+    let runs = arg_u64(&args, "runs", 50) as usize;
+    let secs = arg_u64(&args, "secs", 80);
+    let seed = arg_u64(&args, "seed", 7);
+
+    eprintln!("simulating {runs} runs x {secs}s of AVP + SYN ...");
+    let dags = synthesize_runs(runs, Nanos::from_secs(secs), seed);
+
+    println!("Fig. 4: estimation of timing attributes improves with more traces");
+    println!("        ({runs} runs x {secs}s; values in ms)");
+    for (cb, label) in [
+        ("cb6", "localizer (cb6)"),
+        ("cb2", "filter_front (cb2)"),
+        ("cb1", "filter_rear (cb1)"),
+        ("cb5", "voxel_grid (cb5)"),
+    ] {
+        let key = avp_vertex_key(&dags[0], cb).expect("vertex in first run");
+        let series = ConvergenceSeries::track(&key, &dags);
+        println!();
+        println!("--- {label} ---");
+        println!("{:>5}{:>12}{:>12}{:>12}", "runs", "mBCET", "mACET", "mWCET");
+        for (run, b, a, w) in &series.points {
+            println!(
+                "{:>5}{:>12.2}{:>12.2}{:>12.2}",
+                run,
+                b.as_millis_f64(),
+                a.as_millis_f64(),
+                w.as_millis_f64()
+            );
+        }
+        match series.mwcet_stabilizes_at() {
+            Some(run) => {
+                let first = series.points.first().expect("points").3.as_millis_f64();
+                let last = series.points.last().expect("points").3.as_millis_f64();
+                println!(
+                    "mWCET stabilizes after run {run} ({:.1}% above the run-1 estimate)",
+                    (last - first) / first * 100.0
+                );
+            }
+            None => println!("mWCET did not stabilize within {runs} runs"),
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Regenerates the Sec. III-B kernel-trace footprint experiment: recording
+//! every `sched_switch` event versus filtering by the PIDs of ROS2 nodes
+//! (shared from the INIT tracer through a BPF map). The paper reports a
+//! reduction of "an order of three or more" with busy co-located
+//! workloads.
+//!
+//! Usage: `cargo run -p rtms-bench --bin filtering [secs=30] [seed=0]`
+
+use rtms_bench::{arg_u64, parse_args};
+use rtms_ros2::WorldBuilder;
+use rtms_trace::Nanos;
+use rtms_workloads::{avp_localization_app, syn_app};
+
+fn build(filtered: bool, seed: u64) -> rtms_ros2::Ros2World {
+    let mut b = WorldBuilder::new(12)
+        .seed(seed)
+        .app(avp_localization_app())
+        .app(syn_app(1.0))
+        // Non-ROS2 system activity: browsers, logging, build jobs ...
+        .background_load(Nanos::from_millis(2), Nanos::from_micros(200), Nanos::from_millis(1))
+        .background_load(Nanos::from_millis(3), Nanos::from_micros(200), Nanos::from_millis(1))
+        .background_load(Nanos::from_millis(5), Nanos::from_micros(500), Nanos::from_millis(2))
+        .background_load(Nanos::from_millis(7), Nanos::from_micros(500), Nanos::from_millis(3));
+    if !filtered {
+        b = b.unfiltered_kernel_tracer();
+    }
+    b.build().expect("world")
+}
+
+fn main() {
+    let args = parse_args();
+    let secs = arg_u64(&args, "secs", 30);
+    let seed = arg_u64(&args, "seed", 0);
+
+    let mut unfiltered = build(false, seed);
+    let t_unf = unfiltered.trace_run(Nanos::from_secs(secs));
+    let mut filtered = build(true, seed);
+    let t_fil = filtered.trace_run(Nanos::from_secs(secs));
+
+    let unf_events = t_unf.sched_events().len();
+    let fil_events = t_fil.sched_events().len();
+    let unf_bytes: usize = t_unf.sched_events().iter().map(|e| e.encoded_size()).sum();
+    let fil_bytes: usize = t_fil.sched_events().iter().map(|e| e.encoded_size()).sum();
+
+    println!("Kernel trace footprint over {secs}s (SYN + AVP + background load)");
+    println!();
+    println!("{:<22}{:>14}{:>14}", "", "events", "bytes");
+    println!("{:<22}{:>14}{:>14}", "unfiltered", unf_events, unf_bytes);
+    println!("{:<22}{:>14}{:>14}", "PID-filtered", fil_events, fil_bytes);
+    println!();
+    println!(
+        "reduction: {:.1}x events, {:.1}x bytes   (paper: 3x or more)",
+        unf_events as f64 / fil_events.max(1) as f64,
+        unf_bytes as f64 / fil_bytes.max(1) as f64
+    );
+}

@@ -1,0 +1,49 @@
+//! Regenerates the Sec. VI tracing-overhead experiment: run SYN and AVP
+//! localization together for 60 s and report (i) the generated trace
+//! volume (paper: 9 MB) and (ii) the probes' CPU usage (paper: 0.008 cores
+//! on average, 0.3 % of the applications' computational load).
+//!
+//! Usage: `cargo run -p rtms-bench --bin overheads [secs=60] [seed=0]`
+
+use rtms_bench::{arg_u64, parse_args};
+use rtms_trace::Nanos;
+use rtms_workloads::case_study_world;
+
+fn main() {
+    let args = parse_args();
+    let secs = arg_u64(&args, "secs", 60);
+    let seed = arg_u64(&args, "seed", 0);
+
+    let mut world = case_study_world(seed, 1.0);
+    let trace = world.trace_run(Nanos::from_secs(secs));
+
+    let volume = world.trace_volume_bytes();
+    let report = world.overhead_report();
+    let (seen, exported) = world.kernel_filter_stats();
+
+    println!("Tracing overheads over {secs}s of SYN + AVP localization");
+    println!();
+    println!(
+        "trace volume:        {:.1} MB   (paper: ~9 MB per 60 s)",
+        volume as f64 / 1e6
+    );
+    println!("  ros events:        {}", trace.ros_events().len());
+    println!("  sched events:      {} exported of {} seen", exported, seen);
+    println!();
+    println!(
+        "probe CPU usage:     {:.4} cores on average   (paper: 0.008 cores)",
+        report.avg_cores
+    );
+    println!(
+        "  as fraction of app load: {:.2}%   (paper: 0.3%)",
+        report.frac_of_app_load * 100.0
+    );
+    println!("  total probe firings:     {}", report.total_firings);
+    println!("  total probe runtime:     {}", report.total_time);
+    println!();
+    println!("per-probe accounting (bpftool-style):");
+    println!("{:>14}{:>12}{:>16}", "probe", "run_cnt", "run_time_ns");
+    for (probe, (count, time)) in &report.per_probe {
+        println!("{:>14}{:>12}{:>16}", probe.to_string(), count, time.as_nanos());
+    }
+}

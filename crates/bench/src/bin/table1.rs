@@ -1,0 +1,18 @@
+//! Regenerates Table I: the probe catalog.
+
+use rtms_trace::PROBE_CATALOG;
+
+fn main() {
+    println!("Table I: Inserted probes in ROS2 Foxy");
+    println!("{:<14}{:<22}{:<28}{:<11}Purpose", "No.", "ROS2 lib", "Function", "Attach");
+    for spec in PROBE_CATALOG {
+        println!(
+            "{:<14}{:<22}{:<28}{:<11}{}",
+            spec.probe.to_string(),
+            spec.library,
+            spec.function,
+            spec.attachment.to_string(),
+            spec.purpose
+        );
+    }
+}

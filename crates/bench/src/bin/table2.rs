@@ -1,0 +1,61 @@
+//! Regenerates Table II: measured execution times (mBCET/mACET/mWCET) of
+//! the six AVP localization callbacks over repeated runs of AVP + SYN,
+//! merged per the deployment flow of Fig. 2 (DAG per run, then merge).
+//!
+//! Usage: `cargo run -p rtms-bench --bin table2 [runs=50] [secs=80] [seed=0]`
+//! (The paper uses 50 runs of 80 s; scale down for a quick look.)
+
+use rtms_bench::{arg_u64, avp_vertex_key, parse_args};
+use rtms_core::merge_dags;
+use rtms_trace::Nanos;
+use rtms_workloads::{synthesize_runs, AVP_CALLBACKS};
+
+fn main() {
+    let args = parse_args();
+    let runs = arg_u64(&args, "runs", 50) as usize;
+    let secs = arg_u64(&args, "secs", 80);
+    let seed = arg_u64(&args, "seed", 0);
+
+    eprintln!("simulating {runs} runs x {secs}s of AVP + SYN ...");
+    let dags = synthesize_runs(runs, Nanos::from_secs(secs), seed);
+    let merged = merge_dags(dags);
+
+    println!("Table II: execution times (in ms) of callbacks in AVP localization");
+    println!("          ({runs} runs x {secs}s; paper values in parentheses)");
+    println!(
+        "{:<6}{:<30}{:>18}{:>18}{:>18}{:>8}",
+        "CB", "Node", "mBCET", "mACET", "mWCET", "n"
+    );
+    for (cb, node, p_bcet, p_acet, p_wcet) in AVP_CALLBACKS {
+        let key = avp_vertex_key(&merged, cb).expect("vertex present");
+        let v = merged
+            .vertices()
+            .iter()
+            .find(|v| v.merge_key() == key)
+            .expect("vertex by key");
+        let fmt = |x: Option<Nanos>, paper: f64| match x {
+            Some(n) => format!("{:>7.2} ({:>6.2})", n.as_millis_f64(), paper),
+            None => format!("{:>7} ({:>6.2})", "-", paper),
+        };
+        println!(
+            "{:<6}{:<30}{:>18}{:>18}{:>18}{:>8}",
+            cb,
+            node,
+            fmt(v.stats.mbcet(), p_bcet),
+            fmt(v.stats.macet(), p_acet),
+            fmt(v.stats.mwcet(), p_wcet),
+            v.stats.count()
+        );
+    }
+    println!();
+    println!(
+        "cb2 average processor load at 10 Hz: {:.1}% (paper: 27%)",
+        merged
+            .vertices()
+            .iter()
+            .find(|v| v.merge_key() == avp_vertex_key(&merged, "cb2").expect("cb2"))
+            .and_then(|v| v.stats.macet())
+            .map(|a| a.as_millis_f64() / 100.0 * 100.0)
+            .unwrap_or(0.0)
+    );
+}

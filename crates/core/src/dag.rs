@@ -1,0 +1,655 @@
+//! DAG synthesis from callback lists (Sec. IV, "DAG synthesis").
+
+use crate::cblist::CbList;
+use crate::stats::ExecStats;
+use rtms_trace::{CallbackId, CallbackKind, Nanos, Pid};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Index of a vertex within a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub usize);
+
+/// What a vertex models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VertexKind {
+    /// A ROS2 callback of the given kind.
+    Callback(CallbackKind),
+    /// An `&` (AND) junction inserted for data synchronization: a task
+    /// with zero execution time that fires when all its predecessors have
+    /// produced fresh data.
+    AndJunction,
+}
+
+impl fmt::Display for VertexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VertexKind::Callback(k) => write!(f, "{k}"),
+            VertexKind::AndJunction => write!(f, "&"),
+        }
+    }
+}
+
+/// One task of the synthesized timing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagVertex {
+    /// The ROS2 node the task belongs to.
+    pub node: String,
+    /// Callback kind or AND junction.
+    pub kind: VertexKind,
+    /// Canonicalized subscribed topic (callbacks only; see
+    /// [`Dag::from_cblists`] for the canonical decoration format).
+    pub in_topic: Option<String>,
+    /// Canonicalized published topics.
+    pub out_topics: Vec<String>,
+    /// Whether this callback feeds a synchronizer (its outputs route
+    /// through the node's `&` junction).
+    pub is_sync_member: bool,
+    /// Whether several publishers feed this vertex's subscribed topic
+    /// (`OR` junction marking of Sec. IV).
+    pub or_junction: bool,
+    /// Measured execution-time statistics.
+    pub stats: ExecStats,
+    /// Per-instance execution times in observation order (the raw series
+    /// behind `stats`, kept for convergence studies like Fig. 4).
+    pub exec_times: Vec<Nanos>,
+    /// Statistics over consecutive start-time gaps (period estimate for
+    /// timer callbacks).
+    pub period: ExecStats,
+}
+
+impl DagVertex {
+    /// The merge identity of this vertex: node + kind + subscribed topic,
+    /// falling back to the sorted published-topic set for input-less
+    /// callbacks (timers), which is what distinguishes two timers of one
+    /// node across runs.
+    pub fn merge_key(&self) -> String {
+        let detail = match (&self.in_topic, &self.kind) {
+            (_, VertexKind::AndJunction) => String::from("&"),
+            (Some(t), _) => t.clone(),
+            (None, _) => {
+                let mut outs = self.out_topics.clone();
+                outs.sort();
+                outs.join(",")
+            }
+        };
+        format!("{}|{}|{}", self.node, self.kind, detail)
+    }
+}
+
+/// A directed edge: data flows from `from` to `to` over `topic`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DagEdge {
+    /// Producer task.
+    pub from: VertexId,
+    /// Consumer task.
+    pub to: VertexId,
+    /// The (canonicalized) topic carrying the data.
+    pub topic: String,
+}
+
+/// The synthesized timing model: callbacks as tasks, DDS communication as
+/// precedence relations, annotated with measured timing attributes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dag {
+    vertices: Vec<DagVertex>,
+    edges: Vec<DagEdge>,
+}
+
+impl Dag {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Synthesizes the DAG from per-node callback lists.
+    ///
+    /// `node_names` maps executor PIDs to node names (from the P1 events of
+    /// the INIT tracer); unknown PIDs are named `pid:<n>`.
+    ///
+    /// Topic decorations produced by Algorithm 1 embed raw callback IDs
+    /// (`/svRequest#cb:0x2a`), which are runtime addresses and differ from
+    /// run to run. This constructor rewrites each `#cb:…` suffix into a
+    /// *canonical* callback label (`<node>:<kind>:<base input topic>`),
+    /// which is stable across runs, so models from different runs merge
+    /// vertex-for-vertex (Fig. 2, "merge DAGs").
+    pub fn from_cblists(lists: &[(Pid, CbList)], node_names: &HashMap<Pid, String>) -> Dag {
+        let node_of = |pid: Pid| {
+            node_names.get(&pid).cloned().unwrap_or_else(|| format!("pid:{}", pid.get()))
+        };
+
+        // Canonical label per callback ID, across all nodes.
+        let mut canon: HashMap<CallbackId, String> = HashMap::new();
+        let mut used: BTreeMap<String, usize> = BTreeMap::new();
+        for (pid, list) in lists {
+            for rec in list.entries() {
+                let base_in = rec
+                    .in_topic
+                    .as_deref()
+                    .map(|t| t.split('#').next().unwrap_or(t).to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                let mut label = format!("{}:{}:{}", node_of(*pid), rec.kind, base_in);
+                let n = used.entry(label.clone()).or_insert(0);
+                if *n > 0 {
+                    label = format!("{label}~{n}");
+                }
+                *n += 1;
+                canon.entry(rec.id).or_insert(label);
+            }
+        }
+        let rewrite = |topic: &str| -> String {
+            match topic.split_once("#cb:") {
+                Some((base, hex)) => {
+                    let id = u64::from_str_radix(hex.trim_start_matches("0x"), 16).ok();
+                    match id.and_then(|i| canon.get(&CallbackId::new(i))) {
+                        Some(label) => format!("{base}#{label}"),
+                        None => topic.to_string(),
+                    }
+                }
+                None => topic.to_string(),
+            }
+        };
+
+        // Vertices.
+        let mut dag = Dag::new();
+        for (pid, list) in lists {
+            for rec in list.entries() {
+                let mut period = ExecStats::new();
+                for w in rec.start_times.windows(2) {
+                    period.push(w[1] - w[0]);
+                }
+                dag.vertices.push(DagVertex {
+                    node: node_of(*pid),
+                    kind: VertexKind::Callback(rec.kind),
+                    in_topic: rec.in_topic.as_deref().map(rewrite),
+                    out_topics: rec.out_topics.iter().map(|t| rewrite(t)).collect(),
+                    is_sync_member: rec.is_sync_subscriber,
+                    or_junction: false,
+                    stats: rec.stats.clone(),
+                    exec_times: rec.exec_times.clone(),
+                    period,
+                });
+            }
+        }
+
+        // AND junctions: one per node that has sync members (the P7 probe
+        // identifies members but not groups, so members of one node form
+        // one synchronizer — the paper's MS_alpha).
+        let sync_nodes: Vec<String> = {
+            let mut nodes: Vec<String> = dag
+                .vertices
+                .iter()
+                .filter(|v| v.is_sync_member)
+                .map(|v| v.node.clone())
+                .collect();
+            nodes.sort();
+            nodes.dedup();
+            nodes
+        };
+        for node in sync_nodes {
+            let member_ids: Vec<VertexId> = dag
+                .vertices
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_sync_member && v.node == node)
+                .map(|(i, _)| VertexId(i))
+                .collect();
+            let outs: Vec<String> = {
+                let mut outs: Vec<String> = member_ids
+                    .iter()
+                    .flat_map(|&VertexId(i)| dag.vertices[i].out_topics.clone())
+                    .collect();
+                outs.sort();
+                outs.dedup();
+                outs
+            };
+            let junction = VertexId(dag.vertices.len());
+            dag.vertices.push(DagVertex {
+                node: node.clone(),
+                kind: VertexKind::AndJunction,
+                in_topic: None,
+                out_topics: outs,
+                is_sync_member: false,
+                or_junction: false,
+                stats: ExecStats::from_samples([Nanos::ZERO]),
+                exec_times: Vec::new(),
+                period: ExecStats::new(),
+            });
+            for m in member_ids {
+                dag.edges.push(DagEdge {
+                    from: m,
+                    to: junction,
+                    topic: format!("&{node}"),
+                });
+            }
+        }
+
+        dag.rebuild_topic_edges();
+        dag
+    }
+
+    /// Rebuilds all topic-based edges and OR markings from the vertices'
+    /// topic sets (`&`-junction membership edges are preserved).
+    pub(crate) fn rebuild_topic_edges(&mut self) {
+        self.edges.retain(|e| e.topic.starts_with('&'));
+        // Publishers per topic: sync members publish via their junction.
+        let mut publishers: HashMap<&str, Vec<VertexId>> = HashMap::new();
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.is_sync_member {
+                continue; // outputs routed through the AND junction
+            }
+            for t in &v.out_topics {
+                publishers.entry(t.as_str()).or_default().push(VertexId(i));
+            }
+        }
+        let mut new_edges = Vec::new();
+        for (i, v) in self.vertices.iter().enumerate() {
+            if let Some(in_topic) = &v.in_topic {
+                if let Some(pubs) = publishers.get(in_topic.as_str()) {
+                    for &p in pubs {
+                        if p != VertexId(i) {
+                            new_edges.push(DagEdge {
+                                from: p,
+                                to: VertexId(i),
+                                topic: in_topic.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.edges.extend(new_edges);
+        // OR markings: >= 2 incoming edges with the same topic.
+        for (i, v) in self.vertices.iter_mut().enumerate() {
+            if let Some(in_topic) = &v.in_topic {
+                let n = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.to == VertexId(i) && &e.topic == in_topic)
+                    .count();
+                v.or_junction = n >= 2;
+            }
+        }
+    }
+
+    /// The tasks.
+    pub fn vertices(&self) -> &[DagVertex] {
+        &self.vertices
+    }
+
+    /// The precedence relations.
+    pub fn edges(&self) -> &[DagEdge] {
+        &self.edges
+    }
+
+    /// Vertex lookup by ID.
+    pub fn vertex(&self, id: VertexId) -> &DagVertex {
+        &self.vertices[id.0]
+    }
+
+    /// All vertex IDs.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vertices.len()).map(VertexId)
+    }
+
+    /// IDs of vertices belonging to `node`.
+    pub fn vertices_of_node<'a>(&'a self, node: &'a str) -> impl Iterator<Item = VertexId> + 'a {
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(move |(_, v)| v.node == node)
+            .map(|(i, _)| VertexId(i))
+    }
+
+    /// Direct successors of a vertex.
+    pub fn successors(&self, id: VertexId) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> =
+            self.edges.iter().filter(|e| e.from == id).map(|e| e.to).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Direct predecessors of a vertex.
+    pub fn predecessors(&self, id: VertexId) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> =
+            self.edges.iter().filter(|e| e.to == id).map(|e| e.from).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Vertices with no incoming edges (chain sources, e.g. timers and
+    /// sensor-driven subscribers).
+    pub fn roots(&self) -> Vec<VertexId> {
+        self.vertex_ids().filter(|&v| self.predecessors(v).is_empty()).collect()
+    }
+
+    /// Whether the graph is acyclic (it must be, for the timing analyses
+    /// the model feeds).
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm.
+        let n = self.vertices.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            indeg[e.to.0] += 1;
+        }
+        let mut queue: Vec<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for e in self.edges.iter().filter(|e| e.from.0 == i) {
+                indeg[e.to.0] -= 1;
+                if indeg[e.to.0] == 0 {
+                    queue.push(e.to.0);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Merges another model into this one (Fig. 2, "merge DAGs"): vertices
+    /// are unioned by [`DagVertex::merge_key`], execution-time statistics
+    /// and published-topic sets are combined, edges are re-derived.
+    pub fn merge(&mut self, other: &Dag) {
+        let mut key_to_idx: HashMap<String, usize> = self
+            .vertices
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.merge_key(), i))
+            .collect();
+        for v in &other.vertices {
+            match key_to_idx.get(&v.merge_key()) {
+                Some(&i) => {
+                    let mine = &mut self.vertices[i];
+                    mine.stats.merge(&v.stats);
+                    mine.exec_times.extend(v.exec_times.iter().copied());
+                    mine.period.merge(&v.period);
+                    mine.is_sync_member |= v.is_sync_member;
+                    for t in &v.out_topics {
+                        if !mine.out_topics.contains(t) {
+                            mine.out_topics.push(t.clone());
+                        }
+                    }
+                }
+                None => {
+                    key_to_idx.insert(v.merge_key(), self.vertices.len());
+                    self.vertices.push(v.clone());
+                }
+            }
+        }
+        // Re-derive junction membership edges, then topic edges.
+        self.edges.clear();
+        let mut junctions: HashMap<String, VertexId> = HashMap::new();
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.kind == VertexKind::AndJunction {
+                junctions.insert(v.node.clone(), VertexId(i));
+            }
+        }
+        let mut membership = Vec::new();
+        for (i, v) in self.vertices.iter().enumerate() {
+            if v.is_sync_member {
+                if let Some(&j) = junctions.get(&v.node) {
+                    membership.push(DagEdge {
+                        from: VertexId(i),
+                        to: j,
+                        topic: format!("&{}", v.node),
+                    });
+                }
+            }
+        }
+        // Junction outputs are the union of member outputs.
+        for (node, &j) in &junctions {
+            let mut outs: Vec<String> = self
+                .vertices
+                .iter()
+                .filter(|v| v.is_sync_member && &v.node == node)
+                .flat_map(|v| v.out_topics.clone())
+                .collect();
+            outs.sort();
+            outs.dedup();
+            self.vertices[j.0].out_topics = outs;
+        }
+        self.edges = membership;
+        self.rebuild_topic_edges();
+    }
+
+    /// Renders the model in Graphviz DOT format, with timing annotations.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph timing_model {\n  rankdir=LR;\n");
+        for (i, v) in self.vertices.iter().enumerate() {
+            let label = match v.kind {
+                VertexKind::AndJunction => format!("&\\n({})", v.node),
+                VertexKind::Callback(k) => {
+                    let timing = match (v.stats.mbcet(), v.stats.macet(), v.stats.mwcet()) {
+                        (Some(b), Some(a), Some(w)) => format!(
+                            "\\n[{:.2}/{:.2}/{:.2} ms]",
+                            b.as_millis_f64(),
+                            a.as_millis_f64(),
+                            w.as_millis_f64()
+                        ),
+                        _ => String::new(),
+                    };
+                    let or = if v.or_junction { "\\nOR" } else { "" };
+                    format!("{} {}\\n({}){}{}", k, i, v.node, timing, or)
+                }
+            };
+            let shape = match v.kind {
+                VertexKind::AndJunction => "diamond",
+                _ => "box",
+            };
+            let _ = writeln!(s, "  v{i} [label=\"{label}\", shape={shape}];");
+        }
+        for e in &self.edges {
+            let _ = writeln!(s, "  v{} -> v{} [label=\"{}\"];", e.from.0, e.to.0, e.topic);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cblist::CallbackRecord;
+
+    fn rec(
+        pid: u32,
+        id: u64,
+        kind: CallbackKind,
+        in_topic: Option<&str>,
+        outs: &[&str],
+        sync: bool,
+    ) -> CallbackRecord {
+        CallbackRecord {
+            pid: Pid::new(pid),
+            id: CallbackId::new(id),
+            kind,
+            in_topic: in_topic.map(String::from),
+            out_topics: outs.iter().map(|s| s.to_string()).collect(),
+            is_sync_subscriber: sync,
+            stats: ExecStats::from_samples([Nanos::from_millis(1)]),
+            exec_times: vec![Nanos::from_millis(1)],
+            start_times: vec![Nanos::ZERO],
+        }
+    }
+
+    fn names(pairs: &[(u32, &str)]) -> HashMap<Pid, String> {
+        pairs.iter().map(|(p, n)| (Pid::new(*p), n.to_string())).collect()
+    }
+
+    fn list(records: Vec<CallbackRecord>) -> CbList {
+        records.into_iter().collect()
+    }
+
+    #[test]
+    fn chain_edges() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (
+                Pid::new(2),
+                list(vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &["/b"], false)]),
+            ),
+            (Pid::new(3), list(vec![rec(3, 3, CallbackKind::Subscriber, Some("/b"), &[], false)])),
+        ];
+        let dag = Dag::from_cblists(&lists, &names(&[(1, "n1"), (2, "n2"), (3, "n3")]));
+        assert_eq!(dag.vertices().len(), 3);
+        assert_eq!(dag.edges().len(), 2);
+        assert!(dag.is_acyclic());
+        assert_eq!(dag.roots().len(), 1);
+    }
+
+    #[test]
+    fn or_junction_marked_for_two_publishers() {
+        let lists = vec![
+            (Pid::new(1), list(vec![
+                rec(1, 1, CallbackKind::Timer, None, &["/clp3"], false),
+                rec(1, 2, CallbackKind::Timer, None, &["/clp3", "/t2"], false),
+            ])),
+            (Pid::new(2), list(vec![rec(2, 3, CallbackKind::Subscriber, Some("/clp3"), &[], false)])),
+        ];
+        let dag = Dag::from_cblists(&lists, &names(&[(1, "timers"), (2, "sub")]));
+        let sub = dag
+            .vertex_ids()
+            .find(|&v| dag.vertex(v).in_topic.as_deref() == Some("/clp3"))
+            .expect("subscriber vertex");
+        assert!(dag.vertex(sub).or_junction, "two publishers on /clp3 must mark OR");
+        assert_eq!(dag.predecessors(sub).len(), 2);
+    }
+
+    #[test]
+    fn and_junction_for_sync_members() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/f1"], false)])),
+            (Pid::new(2), list(vec![rec(2, 2, CallbackKind::Timer, None, &["/f2"], false)])),
+            (Pid::new(3), list(vec![
+                rec(3, 3, CallbackKind::Subscriber, Some("/f1"), &["/f3"], true),
+                rec(3, 4, CallbackKind::Subscriber, Some("/f2"), &[], true),
+            ])),
+            (Pid::new(4), list(vec![rec(4, 5, CallbackKind::Subscriber, Some("/f3"), &[], false)])),
+        ];
+        let dag = Dag::from_cblists(
+            &lists,
+            &names(&[(1, "s1"), (2, "s2"), (3, "fusion"), (4, "sink")]),
+        );
+        // 5 callbacks + 1 junction.
+        assert_eq!(dag.vertices().len(), 6);
+        let junction = dag
+            .vertex_ids()
+            .find(|&v| dag.vertex(v).kind == VertexKind::AndJunction)
+            .expect("junction");
+        assert_eq!(dag.vertex(junction).node, "fusion");
+        assert_eq!(dag.predecessors(junction).len(), 2, "both members feed the junction");
+        // Junction has zero execution time.
+        assert_eq!(dag.vertex(junction).stats.mwcet(), Some(Nanos::ZERO));
+        // The sink is fed by the junction, not directly by the member.
+        let sink = dag
+            .vertex_ids()
+            .find(|&v| dag.vertex(v).in_topic.as_deref() == Some("/f3"))
+            .expect("sink");
+        assert_eq!(dag.predecessors(sink), vec![junction]);
+        assert!(dag.is_acyclic());
+    }
+
+    #[test]
+    fn canonicalization_makes_service_decorations_stable() {
+        // Same structure, different runtime callback IDs: merge keys and
+        // edges must align.
+        let build = |caller_id: u64, service_id: u64, client_id: u64| {
+            let lists = vec![
+                (Pid::new(1), list(vec![
+                    rec(1, caller_id, CallbackKind::Timer, None,
+                        &[&format!("/svRequest#cb:{caller_id:#x}")], false),
+                    rec(1, client_id, CallbackKind::Client,
+                        Some(&format!("/svReply#cb:{client_id:#x}")), &[], false),
+                ])),
+                (Pid::new(2), list(vec![rec(
+                    2, service_id, CallbackKind::Service,
+                    Some(&format!("/svRequest#cb:{caller_id:#x}")),
+                    &[&format!("/svReply#cb:{client_id:#x}")], false,
+                )])),
+            ];
+            Dag::from_cblists(&lists, &names(&[(1, "caller"), (2, "server")]))
+        };
+        let a = build(0x10, 0x20, 0x30);
+        let b = build(0x99, 0x88, 0x77);
+        let keys_a: Vec<String> = a.vertices().iter().map(|v| v.merge_key()).collect();
+        let keys_b: Vec<String> = b.vertices().iter().map(|v| v.merge_key()).collect();
+        assert_eq!(keys_a, keys_b, "canonical keys must not depend on runtime IDs");
+        assert_eq!(a.edges().len(), 2, "timer->service and service->client");
+        assert_eq!(b.edges().len(), 2);
+    }
+
+    #[test]
+    fn merge_unions_structure_and_stats() {
+        let lists1 = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (Pid::new(2), list(vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], false)])),
+        ];
+        let mut d1 = Dag::from_cblists(&lists1, &names(&[(1, "n1"), (2, "n2")]));
+        // Run 2 observes an extra publication and different exec times.
+        let mut r = rec(1, 9, CallbackKind::Timer, None, &["/a", "/dbg"], false);
+        r.stats = ExecStats::from_samples([Nanos::from_millis(5)]);
+        r.exec_times = vec![Nanos::from_millis(5)];
+        let lists2 = vec![
+            (Pid::new(1), list(vec![r])),
+            (Pid::new(2), list(vec![rec(2, 8, CallbackKind::Subscriber, Some("/a"), &[], false)])),
+        ];
+        let d2 = Dag::from_cblists(&lists2, &names(&[(1, "n1"), (2, "n2")]));
+        d1.merge(&d2);
+        // Timer identified by node+outputs... here outputs differ between
+        // runs ("/a" vs "/a,/dbg"), so the timer appears as two vertices —
+        // the inherent ambiguity of input-less callbacks. The subscriber
+        // merges into one vertex with pooled stats.
+        let sub = d1
+            .vertex_ids()
+            .find(|&v| d1.vertex(v).in_topic.as_deref() == Some("/a"))
+            .expect("subscriber");
+        assert_eq!(d1.vertex(sub).stats.count(), 2);
+        assert!(d1.is_acyclic());
+    }
+
+    #[test]
+    fn merge_identical_runs_is_idempotent_on_structure() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (Pid::new(2), list(vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &["/b"], false)])),
+        ];
+        let nm = names(&[(1, "n1"), (2, "n2")]);
+        let mut d1 = Dag::from_cblists(&lists, &nm);
+        let d2 = Dag::from_cblists(&lists, &nm);
+        let (nv, ne) = (d1.vertices().len(), d1.edges().len());
+        d1.merge(&d2);
+        assert_eq!(d1.vertices().len(), nv, "same structure: no new vertices");
+        assert_eq!(d1.edges().len(), ne, "same structure: no new edges");
+        // But stats doubled.
+        assert_eq!(d1.vertices()[0].stats.count(), 2);
+    }
+
+    #[test]
+    fn dot_output_contains_vertices_and_edges() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (Pid::new(2), list(vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], false)])),
+        ];
+        let dag = Dag::from_cblists(&lists, &names(&[(1, "n1"), (2, "n2")]));
+        let dot = dag.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("v0 -> v1"), "{dot}");
+        assert!(dot.contains("/a"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+        ];
+        let dag = Dag::from_cblists(&lists, &names(&[(1, "n1")]));
+        let json = serde_json::to_string(&dag).expect("ser");
+        let back: Dag = serde_json::from_str(&json).expect("de");
+        assert_eq!(dag, back);
+    }
+}

@@ -1,0 +1,123 @@
+//! Whole-trace model synthesis: the top of the pipeline in Fig. 1.
+
+use crate::cblist::CbList;
+use crate::dag::Dag;
+use rtms_trace::{Pid, RosPayload, Trace};
+use std::collections::HashMap;
+
+/// Extracts the node-name map (PID → node name) from the P1 events of the
+/// INIT tracer.
+///
+/// The INIT tracer runs only during application startup (Fig. 2), so later
+/// trace segments contain no P1 events; keep this map from the first
+/// segment and pass it to [`synthesize_with_names`] for the rest.
+pub fn node_name_map(trace: &Trace) -> HashMap<Pid, String> {
+    trace
+        .ros_events()
+        .iter()
+        .filter_map(|e| match &e.payload {
+            RosPayload::NodeInit { node_name } => Some((e.pid, node_name.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Runs Algorithm 1 for every node observed in the trace, returning the
+/// per-node callback lists.
+pub fn synthesize_per_node(trace: &Trace) -> Vec<(Pid, CbList)> {
+    crate::alg1::extract_all(&trace.ros_pids(), trace)
+        .into_iter()
+        .filter(|(_, list)| !list.is_empty())
+        .collect()
+}
+
+/// Synthesizes the timing model of all applications in the trace: callback
+/// extraction (Algorithm 1 + 2) for every node, then DAG synthesis with
+/// service splitting and OR/AND junctions.
+///
+/// # Example
+///
+/// ```
+/// use rtms_core::synthesize;
+/// use rtms_trace::Trace;
+///
+/// let dag = synthesize(&Trace::new());
+/// assert!(dag.vertices().is_empty());
+/// ```
+pub fn synthesize(trace: &Trace) -> Dag {
+    synthesize_with_names(trace, &node_name_map(trace))
+}
+
+/// Like [`synthesize`], but with an explicitly supplied node-name map —
+/// required for trace segments collected after the INIT tracer stopped
+/// (their P1 events live in an earlier segment).
+pub fn synthesize_with_names(trace: &Trace, names: &HashMap<Pid, String>) -> Dag {
+    let lists = synthesize_per_node(trace);
+    Dag::from_cblists(&lists, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_trace::{CallbackId, CallbackKind, Nanos, RosEvent, SourceTimestamp, Topic};
+
+    #[test]
+    fn names_resolved_from_p1() {
+        let mut trace = Trace::new();
+        trace.push_ros(RosEvent::new(
+            Nanos::ZERO,
+            Pid::new(1),
+            RosPayload::NodeInit { node_name: "talker".into() },
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::ZERO,
+            Pid::new(1),
+            RosPayload::CallbackStart { kind: CallbackKind::Timer },
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::ZERO,
+            Pid::new(1),
+            RosPayload::TimerCall { callback: CallbackId::new(1) },
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::from_millis(1),
+            Pid::new(1),
+            RosPayload::CallbackEnd { kind: CallbackKind::Timer },
+        ));
+        let dag = synthesize(&trace);
+        assert_eq!(dag.vertices().len(), 1);
+        assert_eq!(dag.vertices()[0].node, "talker");
+    }
+
+    #[test]
+    fn unknown_pid_gets_fallback_name() {
+        let mut trace = Trace::new();
+        trace.push_ros(RosEvent::new(
+            Nanos::ZERO,
+            Pid::new(9),
+            RosPayload::CallbackStart { kind: CallbackKind::Subscriber },
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::ZERO,
+            Pid::new(9),
+            RosPayload::TakeData {
+                callback: CallbackId::new(1),
+                topic: Topic::plain("/t"),
+                src_ts: SourceTimestamp::new(1),
+            },
+        ));
+        trace.push_ros(RosEvent::new(
+            Nanos::from_millis(1),
+            Pid::new(9),
+            RosPayload::CallbackEnd { kind: CallbackKind::Subscriber },
+        ));
+        let dag = synthesize(&trace);
+        assert_eq!(dag.vertices()[0].node, "pid:9");
+    }
+
+    #[test]
+    fn empty_trace_empty_model() {
+        assert!(synthesize(&Trace::new()).vertices().is_empty());
+        assert!(synthesize_per_node(&Trace::new()).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! BPF maps: bounded key/value stores shared between programs and with
+//! user space.
+
+use parking_lot::RwLock;
+use rtms_trace::Pid;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Error returned by map updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The map is at `max_entries` and the key is not present.
+    Full,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Full => write!(f, "map is full"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A bounded hash map with the BPF `update/lookup/delete` API.
+///
+/// Real BPF hash maps are created with a fixed `max_entries`; updates fail
+/// with `-E2BIG` once the map is full. Cloning shares the underlying
+/// storage, mirroring how several programs (and user space) hold file
+/// descriptors to the same map.
+///
+/// # Example
+///
+/// ```
+/// use rtms_ebpf::BpfMap;
+///
+/// let map: BpfMap<u32, u64> = BpfMap::new("inflight", 2);
+/// map.update(1, 100)?;
+/// assert_eq!(map.lookup(&1), Some(100));
+/// assert_eq!(map.delete(&1), Some(100));
+/// assert_eq!(map.lookup(&1), None);
+/// # Ok::<(), rtms_ebpf::MapError>(())
+/// ```
+#[derive(Clone)]
+pub struct BpfMap<K, V> {
+    name: &'static str,
+    max_entries: usize,
+    inner: Arc<RwLock<HashMap<K, V>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BpfMap<K, V> {
+    /// Creates a map with a fixed capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries` is zero.
+    pub fn new(name: &'static str, max_entries: usize) -> Self {
+        assert!(max_entries > 0, "max_entries must be positive");
+        BpfMap { name, max_entries, inner: Arc::new(RwLock::new(HashMap::new())) }
+    }
+
+    /// The map name (as it would appear in `bpftool map list`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The configured capacity.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Inserts or overwrites a key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Full`] if the map is at capacity and `key` is
+    /// not already present.
+    pub fn update(&self, key: K, value: V) -> Result<(), MapError> {
+        let mut m = self.inner.write();
+        if m.len() >= self.max_entries && !m.contains_key(&key) {
+            return Err(MapError::Full);
+        }
+        m.insert(key, value);
+        Ok(())
+    }
+
+    /// Looks up a key.
+    pub fn lookup(&self, key: &K) -> Option<V> {
+        self.inner.read().get(key).cloned()
+    }
+
+    /// Deletes a key, returning the previous value.
+    pub fn delete(&self, key: &K) -> Option<V> {
+        self.inner.write().remove(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.inner.read().contains_key(key)
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Snapshot of all keys (user-space iteration).
+    pub fn keys(&self) -> Vec<K> {
+        self.inner.read().keys().cloned().collect()
+    }
+}
+
+impl<K, V> fmt::Debug for BpfMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BpfMap")
+            .field("name", &self.name)
+            .field("max_entries", &self.max_entries)
+            .finish()
+    }
+}
+
+/// The PID-filter map of Sec. III-B.
+///
+/// The ROS2-INIT tracer inserts the PIDs of ROS2 node threads (learned from
+/// probe P1) and the kernel tracer's `sched_switch` handler looks them up
+/// to decide whether to export an event — the filtering that cuts the
+/// kernel-trace footprint by a factor of three or more.
+pub type PidFilterMap = BpfMap<Pid, ()>;
+
+/// Creates the shared PID-filter map with the default capacity (1024
+/// nodes, plenty for any ROS2 deployment).
+pub fn pid_filter_map() -> PidFilterMap {
+    BpfMap::new("ros2_pids", 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_lookup_delete() {
+        let m: BpfMap<u32, &str> = BpfMap::new("m", 4);
+        m.update(1, "a").expect("insert");
+        m.update(2, "b").expect("insert");
+        assert_eq!(m.lookup(&1), Some("a"));
+        assert_eq!(m.delete(&2), Some("b"));
+        assert_eq!(m.lookup(&2), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let m: BpfMap<u32, u32> = BpfMap::new("m", 2);
+        m.update(1, 1).expect("insert");
+        m.update(2, 2).expect("insert");
+        assert_eq!(m.update(3, 3), Err(MapError::Full));
+        // Overwriting an existing key is allowed at capacity.
+        m.update(1, 10).expect("overwrite");
+        assert_eq!(m.lookup(&1), Some(10));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a: BpfMap<u32, u32> = BpfMap::new("m", 4);
+        let b = a.clone();
+        a.update(7, 7).expect("insert");
+        assert_eq!(b.lookup(&7), Some(7));
+    }
+
+    #[test]
+    fn pid_filter_shared_between_tracers() {
+        let filter = pid_filter_map();
+        let kernel_side = filter.clone();
+        filter.update(Pid::new(42), ()).expect("insert");
+        assert!(kernel_side.contains(&Pid::new(42)));
+        assert!(!kernel_side.contains(&Pid::new(43)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _: BpfMap<u32, u32> = BpfMap::new("m", 0);
+    }
+}

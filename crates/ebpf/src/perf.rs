@@ -1,0 +1,201 @@
+//! The perf ring buffer through which probe programs export events.
+
+use rtms_trace::{RosEvent, SchedEvent};
+use std::collections::VecDeque;
+
+/// A record that can be pushed into a [`PerfBuffer`].
+pub trait PerfRecord {
+    /// Size of the encoded record in bytes, charged against the buffer
+    /// capacity.
+    fn record_size(&self) -> usize;
+}
+
+impl PerfRecord for RosEvent {
+    fn record_size(&self) -> usize {
+        self.encoded_size()
+    }
+}
+
+impl PerfRecord for SchedEvent {
+    fn record_size(&self) -> usize {
+        self.encoded_size()
+    }
+}
+
+/// A bounded event buffer with loss accounting.
+///
+/// Models the perf event buffer BCC polls: fixed byte capacity, events
+/// dropped (and counted) when user space does not drain fast enough. The
+/// deployment flow of Fig. 2 — stop tracers, store the segment, restart
+/// with empty buffers — maps to [`PerfBuffer::drain`].
+///
+/// # Example
+///
+/// ```
+/// use rtms_ebpf::PerfBuffer;
+/// use rtms_trace::{Nanos, Pid, RosEvent, RosPayload, CallbackKind};
+///
+/// let mut buf = PerfBuffer::new(1 << 16);
+/// buf.push(RosEvent::new(
+///     Nanos::ZERO,
+///     Pid::new(1),
+///     RosPayload::CallbackStart { kind: CallbackKind::Timer },
+/// ));
+/// assert_eq!(buf.len(), 1);
+/// let events = buf.drain();
+/// assert_eq!(events.len(), 1);
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfBuffer<T> {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    peak_bytes: usize,
+    total_bytes: usize,
+    dropped: u64,
+    pushed: u64,
+    records: VecDeque<T>,
+}
+
+impl<T: PerfRecord> PerfBuffer<T> {
+    /// Creates a buffer with the given byte capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn new(capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        PerfBuffer {
+            capacity_bytes,
+            used_bytes: 0,
+            peak_bytes: 0,
+            total_bytes: 0,
+            dropped: 0,
+            pushed: 0,
+            records: VecDeque::new(),
+        }
+    }
+
+    /// Pushes a record; returns `false` (and counts a drop) if the buffer
+    /// lacks space.
+    pub fn push(&mut self, record: T) -> bool {
+        let size = record.record_size();
+        if self.used_bytes + size > self.capacity_bytes {
+            self.dropped += 1;
+            return false;
+        }
+        self.used_bytes += size;
+        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+        self.total_bytes += size;
+        self.pushed += 1;
+        self.records.push_back(record);
+        true
+    }
+
+    /// Drains all buffered records in FIFO order, freeing the space
+    /// (user space storing a trace segment).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.used_bytes = 0;
+        self.records.drain(..).collect()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records successfully pushed since creation.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// High-water mark of buffer occupancy, in bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Total bytes accepted since creation (across drains) — the trace
+    /// volume metric of the Sec. VI overhead experiment.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// The configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_trace::{CallbackKind, Nanos, Pid, RosPayload};
+
+    fn ev() -> RosEvent {
+        RosEvent::new(
+            Nanos::ZERO,
+            Pid::new(1),
+            RosPayload::CallbackStart { kind: CallbackKind::Timer },
+        )
+    }
+
+    #[test]
+    fn push_and_drain_fifo() {
+        let mut buf = PerfBuffer::new(1 << 10);
+        let a = RosEvent::new(
+            Nanos::from_nanos(1),
+            Pid::new(1),
+            RosPayload::CallbackStart { kind: CallbackKind::Timer },
+        );
+        let b = RosEvent::new(
+            Nanos::from_nanos(2),
+            Pid::new(1),
+            RosPayload::CallbackEnd { kind: CallbackKind::Timer },
+        );
+        buf.push(a.clone());
+        buf.push(b.clone());
+        let drained = buf.drain();
+        assert_eq!(drained, vec![a, b]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let one = ev().record_size();
+        let mut buf = PerfBuffer::new(one * 2);
+        assert!(buf.push(ev()));
+        assert!(buf.push(ev()));
+        assert!(!buf.push(ev()), "third push must drop");
+        assert_eq!(buf.dropped(), 1);
+        assert_eq!(buf.pushed(), 2);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn drain_frees_space() {
+        let one = ev().record_size();
+        let mut buf = PerfBuffer::new(one);
+        assert!(buf.push(ev()));
+        assert!(!buf.push(ev()));
+        buf.drain();
+        assert!(buf.push(ev()), "space must be reclaimed after drain");
+        assert_eq!(buf.total_bytes(), 2 * one);
+        assert_eq!(buf.peak_bytes(), one);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _: PerfBuffer<RosEvent> = PerfBuffer::new(0);
+    }
+}

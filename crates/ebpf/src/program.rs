@@ -1,0 +1,143 @@
+//! Declarative descriptions of probe programs, the unit the verifier
+//! checks before a program may attach.
+
+use crate::call::AttachPoint;
+use rtms_trace::{Probe, ProbeAttachment};
+use std::fmt;
+
+/// A BPF helper function a program may call.
+///
+/// The whitelist per program type is part of what the kernel verifier
+/// enforces; our [`crate::Verifier`] reproduces that check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Helper {
+    /// `bpf_ktime_get_ns` — read the monotonic clock.
+    KtimeGetNs,
+    /// `bpf_get_current_pid_tgid` — read the current PID.
+    GetCurrentPidTgid,
+    /// `bpf_map_lookup_elem`.
+    MapLookup,
+    /// `bpf_map_update_elem`.
+    MapUpdate,
+    /// `bpf_map_delete_elem`.
+    MapDelete,
+    /// `bpf_probe_read_user` — traverse user-space argument structures.
+    ProbeReadUser,
+    /// `bpf_probe_read_kernel` — read kernel structures (tracepoints only).
+    ProbeReadKernel,
+    /// `bpf_perf_event_output` — export a record to user space.
+    PerfEventOutput,
+}
+
+impl fmt::Display for Helper {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Helper::KtimeGetNs => "bpf_ktime_get_ns",
+            Helper::GetCurrentPidTgid => "bpf_get_current_pid_tgid",
+            Helper::MapLookup => "bpf_map_lookup_elem",
+            Helper::MapUpdate => "bpf_map_update_elem",
+            Helper::MapDelete => "bpf_map_delete_elem",
+            Helper::ProbeReadUser => "bpf_probe_read_user",
+            Helper::ProbeReadKernel => "bpf_probe_read_kernel",
+            Helper::PerfEventOutput => "bpf_perf_event_output",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Declarative description of one probe program: what it attaches to, how
+/// large it is, which helpers it calls and which maps it touches.
+///
+/// # Example
+///
+/// ```
+/// use rtms_ebpf::{Helper, ProgramSpec};
+/// use rtms_ebpf::AttachPoint;
+/// use rtms_trace::Probe;
+///
+/// let spec = ProgramSpec::new(Probe::P3, AttachPoint::Entry, 120)
+///     .with_helpers([Helper::KtimeGetNs, Helper::ProbeReadUser, Helper::PerfEventOutput]);
+/// assert_eq!(spec.probe, Probe::P3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Which Table I probe this program implements.
+    pub probe: Probe,
+    /// Entry (uprobe) or exit (uretprobe) attachment.
+    pub point: AttachPoint,
+    /// Estimated instruction count of the compiled program.
+    pub instructions: u32,
+    /// Helpers the program calls.
+    pub helpers: Vec<Helper>,
+    /// Names of BPF maps the program accesses.
+    pub maps: Vec<&'static str>,
+}
+
+impl ProgramSpec {
+    /// Creates a spec with no helpers or maps declared.
+    pub fn new(probe: Probe, point: AttachPoint, instructions: u32) -> Self {
+        ProgramSpec { probe, point, instructions, helpers: Vec::new(), maps: Vec::new() }
+    }
+
+    /// Declares the helpers the program calls.
+    pub fn with_helpers(mut self, helpers: impl IntoIterator<Item = Helper>) -> Self {
+        self.helpers = helpers.into_iter().collect();
+        self
+    }
+
+    /// Declares the maps the program accesses.
+    pub fn with_maps(mut self, maps: impl IntoIterator<Item = &'static str>) -> Self {
+        self.maps = maps.into_iter().collect();
+        self
+    }
+
+    /// Whether the declared attach point is consistent with the probe's
+    /// catalog attachment (uprobe ↔ entry, uretprobe ↔ exit; tracepoints
+    /// are entry-like).
+    ///
+    /// The take probes P6/P10/P13 additionally allow an entry-side helper
+    /// program: the paper probes `rmw_take_*` "both at entry and exit" to
+    /// capture the address of the by-reference source timestamp, even
+    /// though the exported event comes from the uretprobe.
+    pub fn attachment_consistent(&self) -> bool {
+        let paired_take = matches!(self.probe, Probe::P6 | Probe::P10 | Probe::P13);
+        match self.probe.spec().attachment {
+            ProbeAttachment::Uprobe => self.point == AttachPoint::Entry,
+            ProbeAttachment::Uretprobe => self.point == AttachPoint::Exit || paired_take,
+            ProbeAttachment::Tracepoint => self.point == AttachPoint::Entry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_fields() {
+        let spec = ProgramSpec::new(Probe::P6, AttachPoint::Exit, 400)
+            .with_helpers([Helper::MapLookup, Helper::PerfEventOutput])
+            .with_maps(["inflight_take"]);
+        assert_eq!(spec.helpers.len(), 2);
+        assert_eq!(spec.maps, vec!["inflight_take"]);
+    }
+
+    #[test]
+    fn attachment_consistency() {
+        // P2 is a uprobe: entry OK, exit wrong.
+        assert!(ProgramSpec::new(Probe::P2, AttachPoint::Entry, 10).attachment_consistent());
+        assert!(!ProgramSpec::new(Probe::P2, AttachPoint::Exit, 10).attachment_consistent());
+        // P4 is a uretprobe: exit OK.
+        assert!(ProgramSpec::new(Probe::P4, AttachPoint::Exit, 10).attachment_consistent());
+        // sched_switch tracepoint: entry-like.
+        assert!(
+            ProgramSpec::new(Probe::SchedSwitch, AttachPoint::Entry, 10).attachment_consistent()
+        );
+    }
+
+    #[test]
+    fn helper_display_names() {
+        assert_eq!(Helper::KtimeGetNs.to_string(), "bpf_ktime_get_ns");
+        assert_eq!(Helper::PerfEventOutput.to_string(), "bpf_perf_event_output");
+    }
+}

@@ -1,0 +1,211 @@
+//! The simulated DDS transport (Cyclone-DDS stand-in).
+//!
+//! Topics connect writers to readers; every write stamps a fresh source
+//! timestamp (the `srcTS` the tracer extracts) and delivers a copy of the
+//! sample into every matching reader's queue after the configured
+//! transport latency. Service request/response routing rides on the same
+//! mechanism, exactly as in ROS2 (Sec. II-A: "services are implemented
+//! using topics").
+
+use rtms_trace::{CallbackId, Nanos, Pid, SourceTimestamp, Topic};
+use std::collections::VecDeque;
+
+/// A sample sitting in (or delivered from) a reader queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// The topic the sample was written to.
+    pub topic: Topic,
+    /// The source timestamp stamped at write time.
+    pub src_ts: SourceTimestamp,
+    /// When the sample becomes visible to the reader.
+    pub arrival: Nanos,
+    /// For service traffic: the client callback the response must be
+    /// dispatched to (requests carry the *requester* here so the server can
+    /// address its response).
+    pub rpc_target: Option<(Pid, CallbackId)>,
+}
+
+/// Identifier of a reader within the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReaderId(usize);
+
+#[derive(Debug)]
+struct Reader {
+    pid: Pid,
+    topic: Topic,
+    queue: VecDeque<Sample>,
+}
+
+/// The DDS domain: topic-based sample routing with delivery latency.
+///
+/// # Example
+///
+/// ```
+/// use rtms_ros2::DdsDomain;
+/// use rtms_trace::{Nanos, Pid, Topic};
+///
+/// let mut dds = DdsDomain::new(Nanos::from_micros(50));
+/// let reader = dds.create_reader(Pid::new(7), Topic::plain("/chatter"));
+/// let (ts, wakes) = dds.write(Nanos::ZERO, Topic::plain("/chatter"), None);
+/// assert_eq!(wakes, vec![(Pid::new(7), Nanos::from_micros(50))]);
+/// // Not visible before the latency has elapsed.
+/// assert!(dds.pop_due(reader, Nanos::ZERO).is_none());
+/// let sample = dds.pop_due(reader, Nanos::from_micros(50)).expect("delivered");
+/// assert_eq!(sample.src_ts, ts);
+/// ```
+#[derive(Debug)]
+pub struct DdsDomain {
+    latency: Nanos,
+    readers: Vec<Reader>,
+    next_src_ts: u64,
+}
+
+impl DdsDomain {
+    /// Creates a domain with a fixed transport latency.
+    pub fn new(latency: Nanos) -> Self {
+        DdsDomain { latency, readers: Vec::new(), next_src_ts: 1 }
+    }
+
+    /// The configured transport latency.
+    pub fn latency(&self) -> Nanos {
+        self.latency
+    }
+
+    /// Registers a reader of `topic` owned by the executor thread `pid`.
+    pub fn create_reader(&mut self, pid: Pid, topic: Topic) -> ReaderId {
+        self.readers.push(Reader { pid, topic, queue: VecDeque::new() });
+        ReaderId(self.readers.len() - 1)
+    }
+
+    /// Writes a sample to `topic` at time `now`.
+    ///
+    /// Returns the stamped source timestamp and the list of
+    /// `(reader thread, arrival time)` wakeups the caller must schedule.
+    pub fn write(
+        &mut self,
+        now: Nanos,
+        topic: Topic,
+        rpc_target: Option<(Pid, CallbackId)>,
+    ) -> (SourceTimestamp, Vec<(Pid, Nanos)>) {
+        let src_ts = SourceTimestamp::new(self.next_src_ts);
+        self.next_src_ts += 1;
+        let arrival = now + self.latency;
+        let mut wakes = Vec::new();
+        for reader in &mut self.readers {
+            if reader.topic == topic {
+                reader.queue.push_back(Sample {
+                    topic: topic.clone(),
+                    src_ts,
+                    arrival,
+                    rpc_target,
+                });
+                wakes.push((reader.pid, arrival));
+            }
+        }
+        (src_ts, wakes)
+    }
+
+    /// Pops the oldest sample of `reader` that has arrived by `now`.
+    pub fn pop_due(&mut self, reader: ReaderId, now: Nanos) -> Option<Sample> {
+        let r = &mut self.readers[reader.0];
+        match r.queue.front() {
+            Some(front) if front.arrival <= now => r.queue.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Whether `reader` has a sample that has arrived by `now`.
+    pub fn has_due(&self, reader: ReaderId, now: Nanos) -> bool {
+        self.readers[reader.0]
+            .queue
+            .front()
+            .is_some_and(|s| s.arrival <= now)
+    }
+
+    /// Earliest future arrival among `reader`'s queued samples, if any.
+    pub fn next_arrival(&self, reader: ReaderId) -> Option<Nanos> {
+        self.readers[reader.0].queue.front().map(|s| s.arrival)
+    }
+
+    /// Current depth of a reader queue (including undelivered samples).
+    pub fn queue_depth(&self, reader: ReaderId) -> usize {
+        self.readers[reader.0].queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> DdsDomain {
+        DdsDomain::new(Nanos::from_micros(100))
+    }
+
+    #[test]
+    fn fan_out_to_all_readers() {
+        let mut dds = domain();
+        let r1 = dds.create_reader(Pid::new(1), Topic::plain("/t"));
+        let r2 = dds.create_reader(Pid::new(2), Topic::plain("/t"));
+        let r3 = dds.create_reader(Pid::new(3), Topic::plain("/other"));
+        let (_, wakes) = dds.write(Nanos::ZERO, Topic::plain("/t"), None);
+        assert_eq!(wakes.len(), 2);
+        let t = Nanos::from_micros(100);
+        assert!(dds.pop_due(r1, t).is_some());
+        assert!(dds.pop_due(r2, t).is_some());
+        assert!(dds.pop_due(r3, t).is_none());
+    }
+
+    #[test]
+    fn src_ts_unique_and_increasing() {
+        let mut dds = domain();
+        let (a, _) = dds.write(Nanos::ZERO, Topic::plain("/t"), None);
+        let (b, _) = dds.write(Nanos::ZERO, Topic::plain("/t"), None);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn fifo_per_reader() {
+        let mut dds = domain();
+        let r = dds.create_reader(Pid::new(1), Topic::plain("/t"));
+        let (a, _) = dds.write(Nanos::from_nanos(0), Topic::plain("/t"), None);
+        let (b, _) = dds.write(Nanos::from_nanos(1), Topic::plain("/t"), None);
+        let t = Nanos::from_millis(1);
+        assert_eq!(dds.pop_due(r, t).expect("first").src_ts, a);
+        assert_eq!(dds.pop_due(r, t).expect("second").src_ts, b);
+    }
+
+    #[test]
+    fn latency_gates_visibility() {
+        let mut dds = domain();
+        let r = dds.create_reader(Pid::new(1), Topic::plain("/t"));
+        dds.write(Nanos::from_micros(10), Topic::plain("/t"), None);
+        assert!(!dds.has_due(r, Nanos::from_micros(10)));
+        assert!(dds.has_due(r, Nanos::from_micros(110)));
+        assert_eq!(dds.next_arrival(r), Some(Nanos::from_micros(110)));
+    }
+
+    #[test]
+    fn topic_kind_distinguishes_service_topics() {
+        // A plain topic named like a request topic must not match the
+        // service request reader.
+        let mut dds = domain();
+        let r = dds.create_reader(Pid::new(1), Topic::service_request("/sv"));
+        dds.write(Nanos::ZERO, Topic::plain("/svRequest"), None);
+        assert_eq!(dds.queue_depth(r), 0);
+        dds.write(Nanos::ZERO, Topic::service_request("/sv"), Some((Pid::new(9), CallbackId::new(1))));
+        assert_eq!(dds.queue_depth(r), 1);
+    }
+
+    #[test]
+    fn rpc_target_carried() {
+        let mut dds = domain();
+        let r = dds.create_reader(Pid::new(1), Topic::service_response("/sv"));
+        dds.write(
+            Nanos::ZERO,
+            Topic::service_response("/sv"),
+            Some((Pid::new(42), CallbackId::new(7))),
+        );
+        let s = dds.pop_due(r, Nanos::from_secs(1)).expect("delivered");
+        assert_eq!(s.rpc_target, Some((Pid::new(42), CallbackId::new(7))));
+    }
+}

@@ -1,0 +1,395 @@
+//! The single-threaded node executor.
+//!
+//! One executor thread per node dispatches all of the node's callbacks,
+//! one at a time from start to end (the paper's system model, Sec. II-A).
+//! The executor is a [`ThreadLogic`]: the kernel simulator calls
+//! [`NodeExecutor::next_op`] whenever the thread needs work, and the
+//! executor reports every traced middleware function to the attached
+//! tracers at the exact simulated instants the real functions would run.
+
+use crate::dds::ReaderId;
+use crate::ground_truth::InstanceRecord;
+use crate::work::WorkModel;
+use crate::world::WorldState;
+use rtms_ebpf::{FunctionArgs, FunctionCall, SrcTsRef};
+use rtms_sched::{Op, SimCtx, ThreadLogic};
+use rtms_trace::{CallbackId, Nanos, Pid, Topic};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Per-callback runtime state inside an executor.
+#[derive(Debug)]
+pub(crate) struct CbRuntime {
+    pub(crate) id: CallbackId,
+    pub(crate) work: WorkModel,
+    pub(crate) outputs: Vec<ResolvedOutput>,
+    pub(crate) detail: CbDetail,
+}
+
+#[derive(Debug)]
+pub(crate) enum CbDetail {
+    Timer {
+        period: Nanos,
+        next_fire: Nanos,
+    },
+    Subscriber {
+        reader: ReaderId,
+        topic: Topic,
+        /// `(group index, member index)` when part of a synchronizer.
+        sync: Option<(usize, usize)>,
+    },
+    Service {
+        reader: ReaderId,
+        response_topic: Topic,
+    },
+    Client {
+        reader: ReaderId,
+    },
+}
+
+/// An output action with topics resolved.
+#[derive(Debug, Clone)]
+pub(crate) enum ResolvedOutput {
+    Publish(Topic),
+    /// Send a request: the response will be dispatched to `client_cb` of
+    /// this node.
+    CallService { client_cb: CallbackId, request_topic: Topic },
+}
+
+#[derive(Debug)]
+pub(crate) struct SyncRuntime {
+    pub(crate) filled: Vec<bool>,
+    pub(crate) outputs: Vec<Topic>,
+}
+
+/// The callback instance currently occupying the executor thread.
+#[derive(Debug)]
+struct Current {
+    cb: usize,
+    start: Nanos,
+    issued: Nanos,
+    /// For a service instance: the requester the response is addressed to.
+    requester: Option<(Pid, CallbackId)>,
+}
+
+/// A node's single-threaded executor.
+pub struct NodeExecutor {
+    world: Rc<RefCell<WorldState>>,
+    cbs: Vec<CbRuntime>,
+    syncs: Vec<SyncRuntime>,
+    current: Option<Current>,
+}
+
+impl NodeExecutor {
+    pub(crate) fn new(
+        world: Rc<RefCell<WorldState>>,
+        cbs: Vec<CbRuntime>,
+        syncs: Vec<SyncRuntime>,
+    ) -> Self {
+        NodeExecutor { world, cbs, syncs, current: None }
+    }
+
+    /// Finishes the instance whose compute just completed: performs its
+    /// output actions (publishes, service calls, the automatic service
+    /// response, synchronizer output) and emits the callback-end event.
+    fn finish(&mut self, ctx: &mut SimCtx<'_>, cur: Current) {
+        let now = ctx.now();
+        let pid = ctx.self_pid();
+        let mut wakes: Vec<(Pid, Nanos)> = Vec::new();
+
+        // Synchronizer bookkeeping: mark this member's slot; if the set is
+        // complete, this (last-arriving) instance publishes the output.
+        if let CbDetail::Subscriber { sync: Some((group, member)), .. } = self.cbs[cur.cb].detail {
+            let fire = {
+                let g = &mut self.syncs[group];
+                g.filled[member] = true;
+                g.filled.iter().all(|&f| f)
+            };
+            if fire {
+                let outputs = self.syncs[group].outputs.clone();
+                for topic in outputs {
+                    wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, None));
+                }
+                let g = &mut self.syncs[group];
+                g.filled.iter_mut().for_each(|f| *f = false);
+            }
+        }
+
+        // Declared outputs.
+        for out in self.cbs[cur.cb].outputs.clone() {
+            match out {
+                ResolvedOutput::Publish(topic) => {
+                    wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, None));
+                }
+                ResolvedOutput::CallService { client_cb, request_topic } => {
+                    wakes.extend(self.world.borrow_mut().dds_write(
+                        now,
+                        pid,
+                        request_topic,
+                        Some((pid, client_cb)),
+                    ));
+                }
+            }
+        }
+
+        // A service responds to its caller.
+        if let CbDetail::Service { response_topic, .. } = &self.cbs[cur.cb].detail {
+            let topic = response_topic.clone();
+            wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, cur.requester));
+        }
+
+        // Callback-end probe (P4/P8/P11/P15).
+        let end_args = match self.cbs[cur.cb].detail {
+            CbDetail::Timer { .. } => FunctionArgs::ExecuteTimer,
+            CbDetail::Subscriber { .. } => FunctionArgs::ExecuteSubscription,
+            CbDetail::Service { .. } => FunctionArgs::ExecuteService,
+            CbDetail::Client { .. } => FunctionArgs::ExecuteClient,
+        };
+        {
+            let mut w = self.world.borrow_mut();
+            w.call(FunctionCall::exit(now, pid, end_args));
+            w.ground_truth.record(InstanceRecord {
+                pid,
+                callback: self.cbs[cur.cb].id,
+                start: cur.start,
+                end: now,
+                issued: cur.issued,
+            });
+        }
+
+        for (target, at) in wakes {
+            ctx.wake_at(target, at);
+        }
+    }
+
+    fn begin_timer(&mut self, ctx: &mut SimCtx<'_>, idx: usize) -> Op {
+        let now = ctx.now();
+        let pid = ctx.self_pid();
+        let id = self.cbs[idx].id;
+        if let CbDetail::Timer { period, next_fire } = &mut self.cbs[idx].detail {
+            *next_fire += *period;
+        }
+        let work = {
+            let mut w = self.world.borrow_mut();
+            w.call(FunctionCall::entry(now, pid, FunctionArgs::ExecuteTimer));
+            w.call(FunctionCall::entry(now, pid, FunctionArgs::RclTimerCall { timer: id }));
+            self.cbs[idx].work.sample(&mut w.rng)
+        };
+        self.current = Some(Current { cb: idx, start: now, issued: work, requester: None });
+        Op::Compute(work)
+    }
+
+    fn begin_subscriber(&mut self, ctx: &mut SimCtx<'_>, idx: usize) -> Op {
+        let now = ctx.now();
+        let pid = ctx.self_pid();
+        let id = self.cbs[idx].id;
+        let (reader, topic, is_sync) = match &self.cbs[idx].detail {
+            CbDetail::Subscriber { reader, topic, sync } => {
+                (*reader, topic.clone(), sync.is_some())
+            }
+            _ => unreachable!("begin_subscriber on non-subscriber"),
+        };
+        let work = {
+            let mut w = self.world.borrow_mut();
+            let sample = w.dds.pop_due(reader, now).expect("checked due");
+            w.call(FunctionCall::entry(now, pid, FunctionArgs::ExecuteSubscription));
+            let addr = w.fresh_addr();
+            w.call(FunctionCall::entry(
+                now,
+                pid,
+                FunctionArgs::RmwTakeInt {
+                    subscription: id,
+                    topic: topic.clone(),
+                    src_ts: SrcTsRef::pending(addr),
+                },
+            ));
+            w.call(FunctionCall::exit(
+                now,
+                pid,
+                FunctionArgs::RmwTakeInt {
+                    subscription: id,
+                    topic,
+                    src_ts: SrcTsRef::resolved(addr, sample.src_ts),
+                },
+            ));
+            if is_sync {
+                w.call(FunctionCall::entry(now, pid, FunctionArgs::MessageFilterOp));
+            }
+            self.cbs[idx].work.sample(&mut w.rng)
+        };
+        self.current = Some(Current { cb: idx, start: now, issued: work, requester: None });
+        Op::Compute(work)
+    }
+
+    fn begin_service(&mut self, ctx: &mut SimCtx<'_>, idx: usize) -> Op {
+        let now = ctx.now();
+        let pid = ctx.self_pid();
+        let id = self.cbs[idx].id;
+        let reader = match &self.cbs[idx].detail {
+            CbDetail::Service { reader, .. } => *reader,
+            _ => unreachable!("begin_service on non-service"),
+        };
+        let (work, requester) = {
+            let mut w = self.world.borrow_mut();
+            let sample = w.dds.pop_due(reader, now).expect("checked due");
+            w.call(FunctionCall::entry(now, pid, FunctionArgs::ExecuteService));
+            let addr = w.fresh_addr();
+            w.call(FunctionCall::entry(
+                now,
+                pid,
+                FunctionArgs::RmwTakeRequest {
+                    service: id,
+                    topic: sample.topic.clone(),
+                    src_ts: SrcTsRef::pending(addr),
+                },
+            ));
+            w.call(FunctionCall::exit(
+                now,
+                pid,
+                FunctionArgs::RmwTakeRequest {
+                    service: id,
+                    topic: sample.topic.clone(),
+                    src_ts: SrcTsRef::resolved(addr, sample.src_ts),
+                },
+            ));
+            (self.cbs[idx].work.sample(&mut w.rng), sample.rpc_target)
+        };
+        self.current = Some(Current { cb: idx, start: now, issued: work, requester });
+        Op::Compute(work)
+    }
+
+    /// Handles an incoming service response. Returns `Some(op)` when the
+    /// client callback is dispatched here (this node made the matching
+    /// request), `None` when the response was addressed to another client
+    /// — in which case only the P12/P13/P14/P15 events fire, with no work,
+    /// exactly the pattern Alg. 1 discards via the P14 return value.
+    fn begin_client(&mut self, ctx: &mut SimCtx<'_>, idx: usize) -> Option<Op> {
+        let now = ctx.now();
+        let pid = ctx.self_pid();
+        let id = self.cbs[idx].id;
+        let reader = match &self.cbs[idx].detail {
+            CbDetail::Client { reader } => *reader,
+            _ => unreachable!("begin_client on non-client"),
+        };
+        let (work, dispatch) = {
+            let mut w = self.world.borrow_mut();
+            let sample = w.dds.pop_due(reader, now).expect("checked due");
+            let dispatch = sample.rpc_target == Some((pid, id));
+            w.call(FunctionCall::entry(now, pid, FunctionArgs::ExecuteClient));
+            let addr = w.fresh_addr();
+            w.call(FunctionCall::entry(
+                now,
+                pid,
+                FunctionArgs::RmwTakeResponse {
+                    client: id,
+                    topic: sample.topic.clone(),
+                    src_ts: SrcTsRef::pending(addr),
+                },
+            ));
+            w.call(FunctionCall::exit(
+                now,
+                pid,
+                FunctionArgs::RmwTakeResponse {
+                    client: id,
+                    topic: sample.topic.clone(),
+                    src_ts: SrcTsRef::resolved(addr, sample.src_ts),
+                },
+            ));
+            w.call(FunctionCall::exit(
+                now,
+                pid,
+                FunctionArgs::TakeTypeErasedResponse { ret: Some(dispatch) },
+            ));
+            if !dispatch {
+                // Not our response: execute_client returns immediately.
+                w.call(FunctionCall::exit(now, pid, FunctionArgs::ExecuteClient));
+            }
+            (self.cbs[idx].work.sample(&mut w.rng), dispatch)
+        };
+        if dispatch {
+            self.current = Some(Current { cb: idx, start: now, issued: work, requester: None });
+            Some(Op::Compute(work))
+        } else {
+            None
+        }
+    }
+}
+
+impl ThreadLogic for NodeExecutor {
+    fn next_op(&mut self, ctx: &mut SimCtx<'_>) -> Op {
+        if let Some(cur) = self.current.take() {
+            self.finish(ctx, cur);
+        }
+        loop {
+            let now = ctx.now();
+            // 1. Expired timers, earliest deadline first.
+            let due_timer = self
+                .cbs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, cb)| match cb.detail {
+                    CbDetail::Timer { next_fire, .. } if next_fire <= now => {
+                        Some((next_fire, i))
+                    }
+                    _ => None,
+                })
+                .min();
+            if let Some((_, idx)) = due_timer {
+                return self.begin_timer(ctx, idx);
+            }
+            // 2. Delivered samples, in callback registration order.
+            let mut client_handled = false;
+            let mut started: Option<Op> = None;
+            for idx in 0..self.cbs.len() {
+                let due = {
+                    let w = self.world.borrow();
+                    match &self.cbs[idx].detail {
+                        CbDetail::Subscriber { reader, .. }
+                        | CbDetail::Service { reader, .. }
+                        | CbDetail::Client { reader } => w.dds.has_due(*reader, now),
+                        CbDetail::Timer { .. } => false,
+                    }
+                };
+                if !due {
+                    continue;
+                }
+                match self.cbs[idx].detail {
+                    CbDetail::Subscriber { .. } => {
+                        started = Some(self.begin_subscriber(ctx, idx));
+                    }
+                    CbDetail::Service { .. } => {
+                        started = Some(self.begin_service(ctx, idx));
+                    }
+                    CbDetail::Client { .. } => match self.begin_client(ctx, idx) {
+                        Some(op) => started = Some(op),
+                        None => {
+                            // Undispatched response consumed: rescan.
+                            client_handled = true;
+                        }
+                    },
+                    CbDetail::Timer { .. } => unreachable!("timers handled above"),
+                }
+                if started.is_some() {
+                    break;
+                }
+            }
+            if let Some(op) = started {
+                return op;
+            }
+            if client_handled {
+                continue; // consumed a non-dispatched response; look again
+            }
+            // 3. Nothing ready: wait on the wait-set, bounded by the next
+            //    timer deadline.
+            let next_deadline = self
+                .cbs
+                .iter()
+                .filter_map(|cb| match cb.detail {
+                    CbDetail::Timer { next_fire, .. } => Some(next_fire),
+                    _ => None,
+                })
+                .min();
+            return Op::Block { until: next_deadline };
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Execution-time workload models for simulated callbacks.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rtms_trace::Nanos;
+
+/// How much CPU time a callback instance consumes.
+///
+/// The AVP callbacks are calibrated with [`WorkModel::bounded`], which
+/// matches a `(BCET, ACET, WCET)` triple from Table II of the paper: samples
+/// are `min + (max-min) * U^a` with `a = (max-mean)/(mean-min)`, a
+/// single-parameter power distribution whose support is exactly
+/// `[min, max]` and whose expectation is exactly `mean`.
+///
+/// # Example
+///
+/// ```
+/// use rtms_ros2::WorkModel;
+/// use rtms_trace::Nanos;
+///
+/// let w = WorkModel::bounded_millis(13.82, 17.1, 19.82); // AVP cb1
+/// let (min, max) = w.support();
+/// assert_eq!(min, Nanos::from_millis_f64(13.82));
+/// assert_eq!(max, Nanos::from_millis_f64(19.82));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkModel {
+    /// Every instance consumes exactly this long.
+    Constant(Nanos),
+    /// Uniform over `[min, max]`.
+    Uniform {
+        /// Lower bound.
+        min: Nanos,
+        /// Upper bound.
+        max: Nanos,
+    },
+    /// Power distribution over `[min, max]` with the given mean (see type
+    /// docs). Degenerates gracefully when `mean == min` or `mean == max`.
+    Bounded {
+        /// Best-case execution time.
+        min: Nanos,
+        /// Average execution time.
+        mean: Nanos,
+        /// Worst-case execution time.
+        max: Nanos,
+    },
+}
+
+impl WorkModel {
+    /// Constant workload given in milliseconds.
+    pub fn constant_millis(ms: f64) -> WorkModel {
+        WorkModel::Constant(Nanos::from_millis_f64(ms))
+    }
+
+    /// Uniform workload given in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either is negative.
+    pub fn uniform_millis(min: f64, max: f64) -> WorkModel {
+        assert!(min <= max, "min must not exceed max");
+        WorkModel::Uniform {
+            min: Nanos::from_millis_f64(min),
+            max: Nanos::from_millis_f64(max),
+        }
+    }
+
+    /// `(BCET, ACET, WCET)`-calibrated workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min <= mean <= max`.
+    pub fn bounded(min: Nanos, mean: Nanos, max: Nanos) -> WorkModel {
+        assert!(min <= mean && mean <= max, "need min <= mean <= max");
+        WorkModel::Bounded { min, mean, max }
+    }
+
+    /// `(BCET, ACET, WCET)`-calibrated workload given in milliseconds.
+    pub fn bounded_millis(min: f64, mean: f64, max: f64) -> WorkModel {
+        WorkModel::bounded(
+            Nanos::from_millis_f64(min),
+            Nanos::from_millis_f64(mean),
+            Nanos::from_millis_f64(max),
+        )
+    }
+
+    /// Draws one execution time.
+    pub fn sample(&self, rng: &mut StdRng) -> Nanos {
+        match *self {
+            WorkModel::Constant(c) => c,
+            WorkModel::Uniform { min, max } => {
+                if min == max {
+                    min
+                } else {
+                    Nanos::from_nanos(rng.gen_range(min.as_nanos()..=max.as_nanos()))
+                }
+            }
+            WorkModel::Bounded { min, mean, max } => {
+                if min == max {
+                    return min;
+                }
+                if mean == min {
+                    return min;
+                }
+                if mean == max {
+                    return max;
+                }
+                let span = (max - min).as_nanos() as f64;
+                let a = (max - mean).as_nanos() as f64 / (mean - min).as_nanos() as f64;
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let x = u.powf(a);
+                min + Nanos::from_nanos((x * span).round() as u64)
+            }
+        }
+    }
+
+    /// The `[min, max]` support of the model.
+    pub fn support(&self) -> (Nanos, Nanos) {
+        match *self {
+            WorkModel::Constant(c) => (c, c),
+            WorkModel::Uniform { min, max } | WorkModel::Bounded { min, max, .. } => (min, max),
+        }
+    }
+
+    /// The expected value of the model.
+    pub fn mean(&self) -> Nanos {
+        match *self {
+            WorkModel::Constant(c) => c,
+            WorkModel::Uniform { min, max } => Nanos::from_nanos((min.as_nanos() + max.as_nanos()) / 2),
+            WorkModel::Bounded { mean, .. } => mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn stats(model: WorkModel, n: usize) -> (Nanos, f64, Nanos) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut min = Nanos::MAX;
+        let mut max = Nanos::ZERO;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let s = model.sample(&mut rng);
+            min = min.min(s);
+            max = max.max(s);
+            sum += s.as_millis_f64();
+        }
+        (min, sum / n as f64, max)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let (mn, avg, mx) = stats(WorkModel::constant_millis(2.0), 100);
+        assert_eq!(mn, mx);
+        assert!((avg - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = WorkModel::uniform_millis(1.0, 3.0);
+        let (mn, avg, mx) = stats(m, 10_000);
+        assert!(mn >= Nanos::from_millis(1));
+        assert!(mx <= Nanos::from_millis(3));
+        assert!((avg - 2.0).abs() < 0.05, "uniform mean {avg} != 2.0");
+    }
+
+    #[test]
+    fn bounded_matches_calibration_right_skewed() {
+        // AVP cb6: BCET 2.78, ACET 25.64, WCET 60.93 (right-skewed).
+        let m = WorkModel::bounded_millis(2.78, 25.64, 60.93);
+        let (mn, avg, mx) = stats(m, 50_000);
+        assert!(mn >= Nanos::from_millis_f64(2.78));
+        assert!(mx <= Nanos::from_millis_f64(60.93));
+        assert!((avg - 25.64).abs() < 0.5, "mean {avg} != 25.64");
+    }
+
+    #[test]
+    fn bounded_matches_calibration_left_skewed() {
+        // AVP cb3: BCET 0.41, ACET 3.1, WCET 3.97 (mean close to max —
+        // the case a symmetric or triangular model cannot represent).
+        let m = WorkModel::bounded_millis(0.41, 3.1, 3.97);
+        let (mn, avg, mx) = stats(m, 50_000);
+        assert!(mn >= Nanos::from_millis_f64(0.41));
+        assert!(mx <= Nanos::from_millis_f64(3.97));
+        assert!((avg - 3.1).abs() < 0.05, "mean {avg} != 3.1");
+    }
+
+    #[test]
+    fn bounded_degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = WorkModel::bounded(Nanos::from_millis(2), Nanos::from_millis(2), Nanos::from_millis(2));
+        assert_eq!(a.sample(&mut rng), Nanos::from_millis(2));
+        let b = WorkModel::bounded(Nanos::from_millis(1), Nanos::from_millis(1), Nanos::from_millis(3));
+        assert_eq!(b.sample(&mut rng), Nanos::from_millis(1));
+        let c = WorkModel::bounded(Nanos::from_millis(1), Nanos::from_millis(3), Nanos::from_millis(3));
+        assert_eq!(c.sample(&mut rng), Nanos::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bounded_rejects_unordered() {
+        let _ = WorkModel::bounded(Nanos::from_millis(3), Nanos::from_millis(2), Nanos::from_millis(4));
+    }
+
+    #[test]
+    fn support_and_mean() {
+        let m = WorkModel::bounded_millis(1.0, 2.0, 4.0);
+        assert_eq!(m.support(), (Nanos::from_millis(1), Nanos::from_millis(4)));
+        assert_eq!(m.mean(), Nanos::from_millis(2));
+        assert_eq!(WorkModel::uniform_millis(1.0, 3.0).mean(), Nanos::from_millis(2));
+    }
+}

@@ -1,0 +1,490 @@
+//! Assembling applications, machine, and tracers into a runnable world.
+
+use crate::app::{AppSpec, CallbackSpec, OutputAction};
+use crate::dds::DdsDomain;
+use crate::executor::{CbDetail, CbRuntime, NodeExecutor, ResolvedOutput, SyncRuntime};
+use crate::ground_truth::{CallbackInfo, GroundTruth};
+use crate::tracers::TracerSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtms_ebpf::{FunctionArgs, FunctionCall, OverheadModel, OverheadReport};
+use rtms_sched::{Affinity, PeriodicLoad, SchedSink, Simulator, SimulatorBuilder};
+use rtms_trace::{CallbackId, CallbackKind, Nanos, Pid, Priority, SchedEvent, Topic, Trace};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Errors detected while assembling a world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldError {
+    /// Two nodes (possibly in different apps) offer the same service.
+    DuplicateService(String),
+    /// No application was added.
+    NoApps,
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::DuplicateService(s) => write!(f, "service {s:?} offered twice"),
+            WorldError::NoApps => write!(f, "world has no applications"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// Mutable state shared by all executors: the DDS domain, the tracers, the
+/// ground truth, and the workload RNG.
+pub(crate) struct WorldState {
+    pub(crate) dds: DdsDomain,
+    pub(crate) tracers: TracerSet,
+    pub(crate) ground_truth: GroundTruth,
+    pub(crate) rng: StdRng,
+    addr_ctr: u64,
+}
+
+impl WorldState {
+    /// Reports a traced middleware function call.
+    pub(crate) fn call(&mut self, call: FunctionCall) {
+        self.tracers.on_function(&call);
+    }
+
+    /// A fresh fake stack address for a `srcTS` out-parameter.
+    pub(crate) fn fresh_addr(&mut self) -> u64 {
+        self.addr_ctr += 0x10;
+        0x7fff_0000_0000 + self.addr_ctr
+    }
+
+    /// Writes a sample (emitting the P16 probe) and returns the wakeups the
+    /// caller must schedule.
+    pub(crate) fn dds_write(
+        &mut self,
+        now: Nanos,
+        pid: Pid,
+        topic: Topic,
+        rpc_target: Option<(Pid, CallbackId)>,
+    ) -> Vec<(Pid, Nanos)> {
+        let (src_ts, wakes) = self.dds.write(now, topic.clone(), rpc_target);
+        self.tracers.on_function(&FunctionCall::entry(
+            now,
+            pid,
+            FunctionArgs::DdsWriteImpl { topic, src_ts },
+        ));
+        wakes
+    }
+}
+
+/// Adapter giving the simulated kernel's tracepoint stream to the kernel
+/// tracer.
+struct KernelSink(Rc<RefCell<WorldState>>);
+
+impl SchedSink for KernelSink {
+    fn on_sched_event(&mut self, event: &SchedEvent) {
+        self.0.borrow_mut().tracers.kernel.on_sched_event(event);
+    }
+}
+
+/// Builder for a [`Ros2World`].
+///
+/// Configure the machine (cores, timeslice), the DDS latency, the workload
+/// seed, the applications, and optional non-ROS2 background load, then call
+/// [`WorldBuilder::build`].
+pub struct WorldBuilder {
+    cpus: usize,
+    timeslice: Nanos,
+    dds_latency: Nanos,
+    seed: u64,
+    apps: Vec<AppSpec>,
+    background: Vec<(Nanos, Nanos, Nanos)>,
+    filtered_kernel: bool,
+    record_wakeups: bool,
+}
+
+impl WorldBuilder {
+    /// Starts a world on a machine with `cpus` cores.
+    pub fn new(cpus: usize) -> Self {
+        WorldBuilder {
+            cpus,
+            timeslice: Nanos::from_millis(1),
+            dds_latency: Nanos::from_micros(50),
+            seed: 0,
+            apps: Vec::new(),
+            background: Vec::new(),
+            filtered_kernel: true,
+            record_wakeups: false,
+        }
+    }
+
+    /// Sets the round-robin timeslice.
+    pub fn timeslice(mut self, slice: Nanos) -> Self {
+        self.timeslice = slice;
+        self
+    }
+
+    /// Sets the DDS transport latency (default 50 µs).
+    pub fn dds_latency(mut self, latency: Nanos) -> Self {
+        self.dds_latency = latency;
+        self
+    }
+
+    /// Seeds the workload RNG, making the run deterministic.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds an application.
+    pub fn app(mut self, app: AppSpec) -> Self {
+        self.apps.push(app);
+        self
+    }
+
+    /// Adds a non-ROS2 background thread: every `period` it computes for a
+    /// duration uniform in `[min, max]`. These threads generate the
+    /// `sched_switch` noise the kernel tracer's PID filter removes.
+    pub fn background_load(mut self, period: Nanos, min: Nanos, max: Nanos) -> Self {
+        self.background.push((period, min, max));
+        self
+    }
+
+    /// Uses an *unfiltered* kernel tracer (the baseline of the Sec. III-B
+    /// footprint experiment). Default is filtered, as in the paper.
+    pub fn unfiltered_kernel_tracer(mut self) -> Self {
+        self.filtered_kernel = false;
+        self
+    }
+
+    /// Also records `sched_wakeup` events, enabling the waiting-time
+    /// measurement of Sec. VII. Off by default, as in the paper.
+    pub fn record_wakeups(mut self) -> Self {
+        self.record_wakeups = true;
+        self
+    }
+
+    /// Assembles the world.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorldError::NoApps`] if no application was added, or
+    /// [`WorldError::DuplicateService`] if two nodes offer the same
+    /// service.
+    pub fn build(self) -> Result<Ros2World, WorldError> {
+        if self.apps.is_empty() {
+            return Err(WorldError::NoApps);
+        }
+        // Unique service check across the whole world.
+        {
+            let mut seen = std::collections::HashSet::new();
+            for app in &self.apps {
+                for node in &app.nodes {
+                    for cb in &node.callbacks {
+                        if let CallbackSpec::Service { service, .. } = cb {
+                            if !seen.insert(service.clone()) {
+                                return Err(WorldError::DuplicateService(service.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let tracers = match (self.filtered_kernel, self.record_wakeups) {
+            (true, false) => TracerSet::new(),
+            (true, true) => TracerSet::new_with_wakeups(),
+            (false, _) => TracerSet::new_unfiltered(),
+        };
+        let world = Rc::new(RefCell::new(WorldState {
+            dds: DdsDomain::new(self.dds_latency),
+            tracers,
+            ground_truth: GroundTruth::new(),
+            rng: StdRng::seed_from_u64(self.seed),
+            addr_ctr: 0,
+        }));
+
+        let mut sched = SimulatorBuilder::new(self.cpus).timeslice(self.timeslice);
+        let mut node_pids: Vec<(String, Pid)> = Vec::new();
+        let mut next_cb_id: u64 = 1;
+
+        for app in &self.apps {
+            for node in &app.nodes {
+                let pid = sched.next_pid();
+                let mut cbs: Vec<CbRuntime> = Vec::new();
+                let mut name_to_idx: HashMap<&str, usize> = HashMap::new();
+
+                // First pass: identities + readers.
+                for spec in &node.callbacks {
+                    let id = CallbackId::new(next_cb_id);
+                    next_cb_id += 1;
+                    let (kind, detail, work) = {
+                        let mut w = world.borrow_mut();
+                        match spec {
+                            CallbackSpec::Timer { period, work, .. } => (
+                                CallbackKind::Timer,
+                                CbDetail::Timer { period: *period, next_fire: Nanos::ZERO },
+                                *work,
+                            ),
+                            CallbackSpec::Subscriber { topic, work, .. } => {
+                                let t = Topic::plain(topic.as_str());
+                                let reader = w.dds.create_reader(pid, t.clone());
+                                (
+                                    CallbackKind::Subscriber,
+                                    CbDetail::Subscriber { reader, topic: t, sync: None },
+                                    *work,
+                                )
+                            }
+                            CallbackSpec::Service { service, work, .. } => {
+                                let reader =
+                                    w.dds.create_reader(pid, Topic::service_request(service));
+                                (
+                                    CallbackKind::Service,
+                                    CbDetail::Service {
+                                        reader,
+                                        response_topic: Topic::service_response(service),
+                                    },
+                                    *work,
+                                )
+                            }
+                            CallbackSpec::Client { service, work, .. } => {
+                                let reader =
+                                    w.dds.create_reader(pid, Topic::service_response(service));
+                                (CallbackKind::Client, CbDetail::Client { reader }, *work)
+                            }
+                        }
+                    };
+                    world.borrow_mut().ground_truth.register(
+                        id,
+                        CallbackInfo {
+                            node: node.name.clone(),
+                            name: spec.name().to_string(),
+                            kind,
+                        },
+                    );
+                    name_to_idx.insert(spec.name(), cbs.len());
+                    cbs.push(CbRuntime { id, work, outputs: Vec::new(), detail });
+                }
+
+                // Second pass: outputs (client references now resolvable).
+                for (idx, spec) in node.callbacks.iter().enumerate() {
+                    let mut outputs = Vec::new();
+                    for out in spec.outputs() {
+                        match out {
+                            OutputAction::Publish(topic) => {
+                                outputs.push(ResolvedOutput::Publish(Topic::plain(
+                                    topic.as_str(),
+                                )));
+                            }
+                            OutputAction::CallService { client } => {
+                                let ci = name_to_idx[client.as_str()];
+                                let service = match &node.callbacks[ci] {
+                                    CallbackSpec::Client { service, .. } => service.clone(),
+                                    _ => unreachable!("validated as client"),
+                                };
+                                outputs.push(ResolvedOutput::CallService {
+                                    client_cb: cbs[ci].id,
+                                    request_topic: Topic::service_request(&service),
+                                });
+                            }
+                        }
+                    }
+                    cbs[idx].outputs = outputs;
+                }
+
+                // Synchronizers.
+                let mut syncs: Vec<SyncRuntime> = Vec::new();
+                for group in &node.sync_groups {
+                    let members: Vec<usize> =
+                        group.members.iter().map(|m| name_to_idx[m.as_str()]).collect();
+                    let gi = syncs.len();
+                    for (mi, &cb_idx) in members.iter().enumerate() {
+                        if let CbDetail::Subscriber { sync, .. } = &mut cbs[cb_idx].detail {
+                            *sync = Some((gi, mi));
+                        }
+                    }
+                    syncs.push(SyncRuntime {
+                        filled: vec![false; members.len()],
+                        outputs: group
+                            .outputs
+                            .iter()
+                            .map(|t| Topic::plain(t.as_str()))
+                            .collect(),
+                    });
+                }
+
+                let logic = NodeExecutor::new(Rc::clone(&world), cbs, syncs);
+                let spawned =
+                    sched.spawn(node.name.clone(), node.priority, node.affinity, Box::new(logic));
+                debug_assert_eq!(spawned, pid, "next_pid must predict spawn");
+                node_pids.push((node.name.clone(), pid));
+            }
+        }
+
+        // Non-ROS2 background threads.
+        for (i, (period, min, max)) in self.background.iter().enumerate() {
+            sched.spawn(
+                format!("bg-load-{i}"),
+                Priority::NORMAL,
+                Affinity::all(),
+                Box::new(PeriodicLoad::new(*period, *min, *max, self.seed ^ (i as u64 + 1))),
+            );
+        }
+
+        let mut sim = sched.build();
+        sim.add_sink(Box::new(KernelSink(Rc::clone(&world))));
+        Ok(Ros2World { sim, world, node_pids, announced: false })
+    }
+}
+
+/// A runnable simulated machine with ROS2 applications and attached
+/// tracers.
+///
+/// Follow the deployment flow of Fig. 2: [`Ros2World::announce_nodes`]
+/// (TR_IN active during startup), then alternate
+/// [`Ros2World::start_runtime_tracers`] / [`Ros2World::run_for`] /
+/// [`Ros2World::collect_segment`] — or use [`Ros2World::trace_run`] for the
+/// whole cycle.
+pub struct Ros2World {
+    sim: Simulator,
+    world: Rc<RefCell<WorldState>>,
+    node_pids: Vec<(String, Pid)>,
+    announced: bool,
+}
+
+impl Ros2World {
+    /// Starts the INIT tracer, fires P1 for every node (as the applications
+    /// would during startup), and stops it again. Idempotent.
+    pub fn announce_nodes(&mut self) {
+        if self.announced {
+            return;
+        }
+        self.announced = true;
+        let now = self.sim.now();
+        let mut w = self.world.borrow_mut();
+        w.tracers.init.start();
+        for (name, pid) in &self.node_pids {
+            let call = FunctionCall::entry(
+                now,
+                *pid,
+                FunctionArgs::RmwCreateNode { node_name: name.clone() },
+            );
+            w.tracers.init.on_function(&call);
+        }
+        w.tracers.init.stop();
+    }
+
+    /// Starts the ROS2-RT and kernel tracers.
+    pub fn start_runtime_tracers(&mut self) {
+        let mut w = self.world.borrow_mut();
+        w.tracers.rt.start();
+        w.tracers.kernel.start();
+    }
+
+    /// Stops the ROS2-RT and kernel tracers.
+    pub fn stop_runtime_tracers(&mut self) {
+        let mut w = self.world.borrow_mut();
+        w.tracers.rt.stop();
+        w.tracers.kernel.stop();
+    }
+
+    /// Advances the simulation by `duration`.
+    pub fn run_for(&mut self, duration: Nanos) {
+        let until = self.sim.now() + duration;
+        self.sim.run_until(until);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.sim.now()
+    }
+
+    /// Drains all tracer buffers into one chronologically sorted trace
+    /// segment.
+    pub fn collect_segment(&mut self) -> Trace {
+        let mut w = self.world.borrow_mut();
+        let mut trace = Trace::new();
+        for ev in w.tracers.init.drain_segment() {
+            trace.push_ros(ev);
+        }
+        for ev in w.tracers.rt.drain_segment() {
+            trace.push_ros(ev);
+        }
+        for ev in w.tracers.kernel.drain_segment() {
+            trace.push_sched(ev);
+        }
+        trace.sort_by_time();
+        trace
+    }
+
+    /// Convenience: announce nodes, trace one run of `duration`, and return
+    /// the collected segment.
+    pub fn trace_run(&mut self, duration: Nanos) -> Trace {
+        self.announce_nodes();
+        self.start_runtime_tracers();
+        self.run_for(duration);
+        self.stop_runtime_tracers();
+        self.collect_segment()
+    }
+
+    /// The PID of a node's executor thread.
+    pub fn node_pid(&self, name: &str) -> Option<Pid> {
+        self.node_pids.iter().find(|(n, _)| n == name).map(|(_, p)| *p)
+    }
+
+    /// All `(node name, PID)` pairs, in spawn order.
+    pub fn node_pids(&self) -> &[(String, Pid)] {
+        &self.node_pids
+    }
+
+    /// Snapshot of the simulator's ground truth.
+    pub fn ground_truth(&self) -> GroundTruth {
+        self.world.borrow().ground_truth.clone()
+    }
+
+    /// Total CPU time consumed so far by the applications' executor
+    /// threads.
+    pub fn app_cpu_time(&self) -> Nanos {
+        self.node_pids
+            .iter()
+            .fold(Nanos::ZERO, |acc, (_, pid)| acc + self.sim.cpu_time(*pid))
+    }
+
+    /// Aggregated probe-overhead report over the elapsed simulated time.
+    pub fn overhead_report(&self) -> OverheadReport {
+        let w = self.world.borrow();
+        let mut merged = OverheadModel::new();
+        merged.absorb(w.tracers.init.overhead());
+        merged.absorb(w.tracers.rt.overhead());
+        merged.absorb(w.tracers.kernel.overhead());
+        merged.report(self.sim.now(), self.app_cpu_time())
+    }
+
+    /// Bytes accepted into the RT + kernel perf buffers since start — the
+    /// trace-volume metric of Sec. VI.
+    pub fn trace_volume_bytes(&self) -> usize {
+        let w = self.world.borrow();
+        w.tracers.rt.perf().total_bytes() + w.tracers.kernel.perf().total_bytes()
+    }
+
+    /// `(seen, exported)` scheduler events of the kernel tracer — the
+    /// footprint-reduction metric of Sec. III-B.
+    pub fn kernel_filter_stats(&self) -> (u64, u64) {
+        let w = self.world.borrow();
+        (w.tracers.kernel.seen(), w.tracers.kernel.exported())
+    }
+
+    /// Direct access to the underlying machine (advanced use: per-thread
+    /// CPU times, full scheduler event firehose, core utilization).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+}
+
+impl fmt::Debug for Ros2World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ros2World")
+            .field("now", &self.sim.now())
+            .field("nodes", &self.node_pids.len())
+            .finish()
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests over *randomized application topologies*: for any
+//! valid app the generator produces, the simulated stack must emit
+//! well-formed event streams and the executor semantics must hold.
+
+use proptest::prelude::*;
+use rtms_ros2::{AppBuilder, AppSpec, WorkModel, WorldBuilder};
+use rtms_trace::{Nanos, RosPayload};
+
+/// A random pub/sub forest: `n_nodes` nodes, each with a timer publishing
+/// its own topic, plus random subscribers wired to random topics (possibly
+/// cross-node), some of which re-publish to their own derived topic.
+#[derive(Debug, Clone)]
+struct RandomApp {
+    n_nodes: usize,
+    /// (node, subscribed topic index, republish?)
+    subscribers: Vec<(usize, usize, bool)>,
+    periods_ms: Vec<u64>,
+}
+
+fn arb_app() -> impl Strategy<Value = RandomApp> {
+    (2usize..6)
+        .prop_flat_map(|n_nodes| {
+            (
+                Just(n_nodes),
+                proptest::collection::vec(
+                    (0..n_nodes, 0..n_nodes, any::<bool>()),
+                    0..8,
+                ),
+                proptest::collection::vec(20u64..200, n_nodes),
+            )
+        })
+        .prop_map(|(n_nodes, subscribers, periods_ms)| RandomApp {
+            n_nodes,
+            subscribers,
+            periods_ms,
+        })
+}
+
+fn build_app(spec: &RandomApp) -> AppSpec {
+    let mut app = AppBuilder::new("random");
+    let mut nodes = Vec::new();
+    for i in 0..spec.n_nodes {
+        let node = app.node(format!("n{i}"));
+        app.timer(
+            node,
+            format!("t{i}"),
+            Nanos::from_millis(spec.periods_ms[i]),
+            WorkModel::uniform_millis(0.1, 1.0),
+        )
+        .publishes(format!("/src{i}"));
+        nodes.push(node);
+    }
+    for (k, &(node, topic, republish)) in spec.subscribers.iter().enumerate() {
+        let h = app.subscriber(
+            nodes[node],
+            format!("s{k}"),
+            format!("/src{topic}"),
+            WorkModel::uniform_millis(0.1, 0.8),
+        );
+        if republish {
+            h.publishes(format!("/derived{k}"));
+        }
+    }
+    app.build().expect("generated apps are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any topology: per-node callback start/end strictly alternate
+    /// (single-threaded executor), every take carries a srcTS some write
+    /// produced, and the synthesized model is acyclic with one vertex per
+    /// active callback.
+    #[test]
+    fn random_topology_invariants(spec in arb_app(), seed in 0u64..1000, cpus in 1usize..5) {
+        let mut world = WorldBuilder::new(cpus)
+            .seed(seed)
+            .app(build_app(&spec))
+            .build()
+            .expect("world builds");
+        let trace = world.trace_run(Nanos::from_secs(1));
+
+        // Executor non-overlap per node.
+        for pid in trace.ros_pids() {
+            let mut depth = 0i32;
+            for ev in trace.ros_events_for(pid) {
+                match ev.payload {
+                    RosPayload::CallbackStart { .. } => {
+                        depth += 1;
+                        prop_assert_eq!(depth, 1);
+                    }
+                    RosPayload::CallbackEnd { .. } => {
+                        depth -= 1;
+                        prop_assert_eq!(depth, 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Every taken srcTS was written, on the same topic.
+        let writes: std::collections::HashSet<(String, u64)> = trace
+            .ros_events()
+            .iter()
+            .filter_map(|e| match &e.payload {
+                RosPayload::DdsWrite { topic, src_ts } => {
+                    Some((topic.name().to_string(), src_ts.get()))
+                }
+                _ => None,
+            })
+            .collect();
+        for e in trace.ros_events() {
+            if let RosPayload::TakeData { topic, src_ts, .. } = &e.payload {
+                prop_assert!(
+                    writes.contains(&(topic.name().to_string(), src_ts.get())),
+                    "take of unwritten sample on {topic}"
+                );
+            }
+        }
+
+        // Synthesis: acyclic, and bounded by the declared callback count.
+        let dag = rtms_core::synthesize(&trace);
+        prop_assert!(dag.is_acyclic());
+        let declared = spec.n_nodes + spec.subscribers.len();
+        prop_assert!(dag.vertices().len() <= declared);
+
+        // Ground truth and Algorithm 2 agree on every instance.
+        let gt = world.ground_truth();
+        for rec in gt.instances() {
+            let measured = rtms_core::execution_time(
+                rec.start,
+                rec.end,
+                rec.pid,
+                trace.sched_events(),
+            );
+            prop_assert_eq!(measured, rec.issued);
+        }
+    }
+
+    /// The same seed gives the same trace (full determinism), and
+    /// different seeds give the same *structure* after synthesis.
+    #[test]
+    fn determinism_and_structural_stability(spec in arb_app()) {
+        let run = |seed: u64| {
+            let mut world = WorldBuilder::new(2)
+                .seed(seed)
+                .app(build_app(&spec))
+                .build()
+                .expect("world builds");
+            world.trace_run(Nanos::from_secs(1))
+        };
+        let a = run(5);
+        let b = run(5);
+        prop_assert_eq!(a.ros_events(), b.ros_events());
+        prop_assert_eq!(a.sched_events().len(), b.sched_events().len());
+
+        let c = run(6);
+        let dag_a = rtms_core::synthesize(&a);
+        let dag_c = rtms_core::synthesize(&c);
+        prop_assert_eq!(dag_a.vertices().len(), dag_c.vertices().len());
+        prop_assert_eq!(dag_a.edges().len(), dag_c.edges().len());
+    }
+}

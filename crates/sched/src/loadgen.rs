@@ -1,0 +1,173 @@
+//! Reusable [`ThreadLogic`] implementations: scripted op sequences for
+//! tests and periodic background load for interference experiments.
+
+use crate::logic::{Op, SimCtx, ThreadLogic};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtms_trace::Nanos;
+use std::collections::VecDeque;
+
+/// Plays back a fixed sequence of operations, then exits.
+///
+/// # Example
+///
+/// ```
+/// use rtms_sched::{Op, ScriptedLogic};
+/// use rtms_trace::Nanos;
+///
+/// let logic = ScriptedLogic::new(vec![
+///     Op::Compute(Nanos::from_millis(1)),
+///     Op::sleep_until(Nanos::from_millis(5)),
+///     Op::Compute(Nanos::from_millis(2)),
+/// ]);
+/// # let _ = logic;
+/// ```
+#[derive(Debug, Default)]
+pub struct ScriptedLogic {
+    ops: VecDeque<Op>,
+}
+
+impl ScriptedLogic {
+    /// Creates a scripted logic from a list of operations. `Op::Exit` is
+    /// implied at the end.
+    pub fn new(ops: impl IntoIterator<Item = Op>) -> Self {
+        ScriptedLogic { ops: ops.into_iter().collect() }
+    }
+}
+
+impl ThreadLogic for ScriptedLogic {
+    fn next_op(&mut self, _ctx: &mut SimCtx<'_>) -> Op {
+        self.ops.pop_front().unwrap_or(Op::Exit)
+    }
+}
+
+/// A periodic busy thread: every `period`, computes for a duration drawn
+/// uniformly from `[min_exec, max_exec]`.
+///
+/// Used as the interfering background load of the paper's experiments:
+/// the SYN callbacks use "a constant computational load for a single run"
+/// that is varied across runs, and the filtering experiment (Sec. III-B)
+/// needs non-ROS2 threads generating `sched_switch` noise.
+#[derive(Debug)]
+pub struct PeriodicLoad {
+    period: Nanos,
+    min_exec: Nanos,
+    max_exec: Nanos,
+    next_release: Nanos,
+    rng: StdRng,
+}
+
+impl PeriodicLoad {
+    /// Creates a periodic load with execution time drawn from
+    /// `[min_exec, max_exec]` each period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or `min_exec > max_exec`.
+    pub fn new(period: Nanos, min_exec: Nanos, max_exec: Nanos, seed: u64) -> Self {
+        assert!(period > Nanos::ZERO, "period must be positive");
+        assert!(min_exec <= max_exec, "min_exec must not exceed max_exec");
+        PeriodicLoad {
+            period,
+            min_exec,
+            max_exec,
+            next_release: Nanos::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a constant-execution-time periodic load.
+    pub fn constant(period: Nanos, exec: Nanos, seed: u64) -> Self {
+        PeriodicLoad::new(period, exec, exec, seed)
+    }
+
+    fn sample_exec(&mut self) -> Nanos {
+        if self.min_exec == self.max_exec {
+            self.min_exec
+        } else {
+            Nanos::from_nanos(
+                self.rng.gen_range(self.min_exec.as_nanos()..=self.max_exec.as_nanos()),
+            )
+        }
+    }
+}
+
+impl ThreadLogic for PeriodicLoad {
+    fn next_op(&mut self, ctx: &mut SimCtx<'_>) -> Op {
+        if ctx.now() >= self.next_release {
+            self.next_release += self.period;
+            Op::Compute(self.sample_exec())
+        } else {
+            Op::sleep_until(self.next_release)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{Affinity, SimulatorBuilder};
+    use rtms_trace::Priority;
+
+    #[test]
+    fn scripted_logic_runs_to_completion() {
+        let mut b = SimulatorBuilder::new(1);
+        let pid = b.spawn(
+            "s",
+            Priority::NORMAL,
+            Affinity::all(),
+            Box::new(ScriptedLogic::new(vec![
+                Op::Compute(Nanos::from_millis(1)),
+                Op::sleep_until(Nanos::from_millis(5)),
+                Op::Compute(Nanos::from_millis(2)),
+            ])),
+        );
+        let mut sim = b.build();
+        sim.run_until(Nanos::from_millis(20));
+        assert_eq!(sim.cpu_time(pid), Nanos::from_millis(3));
+        assert!(!sim.is_alive(pid));
+    }
+
+    #[test]
+    fn periodic_load_utilization() {
+        // 2ms every 10ms on a dedicated core => 20% utilization.
+        let mut b = SimulatorBuilder::new(1);
+        let pid = b.spawn(
+            "load",
+            Priority::NORMAL,
+            Affinity::all(),
+            Box::new(PeriodicLoad::constant(Nanos::from_millis(10), Nanos::from_millis(2), 1)),
+        );
+        let mut sim = b.build();
+        sim.run_until(Nanos::from_millis(100));
+        // Releases at 0,10,...,90 => 10 jobs of 2ms.
+        assert_eq!(sim.cpu_time(pid), Nanos::from_millis(20));
+        assert!(sim.is_alive(pid));
+    }
+
+    #[test]
+    fn periodic_load_randomized_within_bounds() {
+        let mut b = SimulatorBuilder::new(1);
+        let pid = b.spawn(
+            "load",
+            Priority::NORMAL,
+            Affinity::all(),
+            Box::new(PeriodicLoad::new(
+                Nanos::from_millis(10),
+                Nanos::from_millis(1),
+                Nanos::from_millis(3),
+                42,
+            )),
+        );
+        let mut sim = b.build();
+        sim.run_until(Nanos::from_millis(100));
+        let t = sim.cpu_time(pid).as_millis_f64();
+        assert!((10.0..=30.0).contains(&t), "cpu time {t}ms outside [10,30]ms");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_period_rejected() {
+        let _ = PeriodicLoad::constant(Nanos::ZERO, Nanos::from_millis(1), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! The thread-behaviour interface: [`Op`], [`ThreadLogic`], [`SimCtx`].
+
+use crate::simulator::Simulator;
+use rtms_trace::{Nanos, Pid};
+
+/// The next operation a thread wants to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Burn `0` or more nanoseconds of CPU time. The thread stays runnable
+    /// and may be preempted and migrated while the work is in progress; the
+    /// simulator guarantees the *accumulated* CPU time equals the request.
+    Compute(Nanos),
+    /// Block until woken by [`SimCtx::wake`]/[`SimCtx::wake_at`], or until
+    /// the absolute deadline `until` (if given) passes — whichever comes
+    /// first. This models a ROS2 executor waiting on its wait-set with a
+    /// timer-derived timeout.
+    ///
+    /// Wakeups are *condition-variable like*: logic must tolerate spurious
+    /// wakeups (re-check its queues and block again).
+    Block {
+        /// Absolute time at which to wake up regardless of signals.
+        until: Option<Nanos>,
+    },
+    /// Terminate the thread.
+    Exit,
+}
+
+impl Op {
+    /// Convenience constructor: block with no timeout.
+    pub fn block() -> Op {
+        Op::Block { until: None }
+    }
+
+    /// Convenience constructor: sleep until an absolute instant.
+    pub fn sleep_until(deadline: Nanos) -> Op {
+        Op::Block { until: Some(deadline) }
+    }
+}
+
+/// Behaviour of one simulated thread.
+///
+/// The simulator calls [`ThreadLogic::next_op`] whenever the thread needs a
+/// new operation: at first dispatch, after a `Compute` finishes, and after
+/// every wakeup from `Block`. The call happens *on the thread's own CPU at
+/// the current simulated instant*; any side effects the logic performs
+/// through [`SimCtx`] (waking other threads, scheduling future wakeups) are
+/// instantaneous middleware actions.
+pub trait ThreadLogic {
+    /// Returns the thread's next operation.
+    fn next_op(&mut self, ctx: &mut SimCtx<'_>) -> Op;
+}
+
+/// The simulation context handed to [`ThreadLogic::next_op`].
+///
+/// Exposes the current time and the two cross-thread effects a middleware
+/// layer needs: immediate wakeups (message delivered now) and scheduled
+/// wakeups (message will arrive after a communication latency).
+pub struct SimCtx<'a> {
+    pub(crate) sim: &'a mut Simulator,
+    pub(crate) pid: Pid,
+}
+
+impl SimCtx<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.sim.now()
+    }
+
+    /// The PID of the thread whose logic is running.
+    pub fn self_pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Wakes `pid` now. If the target is blocked it becomes runnable (a
+    /// `sched_wakeup` event is emitted); if it is running or already
+    /// runnable the wakeup is latched so the target's next `Block` returns
+    /// immediately instead of losing the signal.
+    pub fn wake(&mut self, pid: Pid) {
+        self.sim.wake_request(pid);
+    }
+
+    /// Schedules a wakeup of `pid` at absolute time `at` (clamped to now if
+    /// already past). Models e.g. DDS delivery latency: publish now, the
+    /// subscriber's executor wakes when the sample lands in its reader.
+    pub fn wake_at(&mut self, pid: Pid, at: Nanos) {
+        self.sim.schedule_wake(pid, at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_constructors() {
+        assert_eq!(Op::block(), Op::Block { until: None });
+        assert_eq!(
+            Op::sleep_until(Nanos::from_millis(5)),
+            Op::Block { until: Some(Nanos::from_millis(5)) }
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Identifier newtypes used across the tracing pipeline.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A process/thread identifier.
+///
+/// The paper identifies each ROS2 node by the PID of the thread running its
+/// single-threaded executor (probe P1), so a `Pid` doubles as the node
+/// identity in trace post-processing.
+///
+/// # Example
+///
+/// ```
+/// use rtms_trace::Pid;
+/// let pid = Pid::new(1234);
+/// assert_eq!(pid.get(), 1234);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// The idle task (swapper), PID 0, which the kernel tracer also observes
+    /// in `sched_switch` events.
+    pub const IDLE: Pid = Pid(0);
+
+    /// Creates a PID from a raw value.
+    pub const fn new(raw: u32) -> Self {
+        Pid(raw)
+    }
+
+    /// The raw numeric value.
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the idle task.
+    pub const fn is_idle(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// A CPU core index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Cpu(u16);
+
+impl Cpu {
+    /// Creates a CPU index.
+    pub const fn new(index: u16) -> Self {
+        Cpu(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Cpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A scheduling priority as reported in `sched_switch` events.
+///
+/// Higher values mean more urgent, matching real-time (SCHED_FIFO-style)
+/// priorities; `Priority::NORMAL` (0) corresponds to a best-effort thread.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Priority(i32);
+
+impl Priority {
+    /// Best-effort priority used by non-real-time threads.
+    pub const NORMAL: Priority = Priority(0);
+
+    /// Creates a priority from a raw value.
+    pub const fn new(raw: i32) -> Self {
+        Priority(raw)
+    }
+
+    /// The raw numeric value.
+    pub const fn get(self) -> i32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio:{}", self.0)
+    }
+}
+
+/// An opaque callback identifier.
+///
+/// On a real system this is the address of the callback object read from
+/// middleware function arguments (e.g. `rcl_timer_call` for timers, the
+/// subscription handle in `rmw_take_int` for subscribers). The simulator
+/// assigns unique non-zero integers with the same role: stable across
+/// invocations, unique within a run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct CallbackId(u64);
+
+impl CallbackId {
+    /// Creates a callback ID from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        CallbackId(raw)
+    }
+
+    /// The raw numeric value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CallbackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cb:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_basics() {
+        assert!(Pid::IDLE.is_idle());
+        assert!(!Pid::new(3).is_idle());
+        assert_eq!(Pid::new(3).to_string(), "pid:3");
+    }
+
+    #[test]
+    fn cpu_index() {
+        assert_eq!(Cpu::new(2).index(), 2);
+        assert_eq!(Cpu::new(2).to_string(), "cpu2");
+    }
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::new(10) > Priority::NORMAL);
+    }
+
+    #[test]
+    fn callback_id_display_is_hex() {
+        assert_eq!(CallbackId::new(255).to_string(), "cb:0xff");
+    }
+
+    #[test]
+    fn ids_serde_transparent() {
+        let pid: Pid = serde_json::from_str("7").expect("pid");
+        assert_eq!(pid, Pid::new(7));
+        assert_eq!(serde_json::to_string(&CallbackId::new(9)).expect("ser"), "9");
+    }
+}

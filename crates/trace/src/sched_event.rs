@@ -1,0 +1,212 @@
+//! Scheduler events recorded by the kernel tracer (Sec. III-B).
+
+use crate::ids::{Cpu, Pid, Priority};
+use crate::time::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The state of the thread being switched out, as reported by
+/// `sched_switch`.
+///
+/// Algorithm 2 does not branch on this state, but the paper records it
+/// because it distinguishes preemption (still runnable) from voluntary
+/// blocking (waiting for data or a signal) — useful for the waiting-time
+/// debugging extension of Sec. VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ThreadState {
+    /// Still runnable: the switch was a preemption.
+    Runnable,
+    /// Blocked waiting for data, a timer, or a signal.
+    Sleeping,
+    /// The thread exited.
+    Dead,
+}
+
+impl fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreadState::Runnable => write!(f, "R"),
+            ThreadState::Sleeping => write!(f, "S"),
+            ThreadState::Dead => write!(f, "X"),
+        }
+    }
+}
+
+/// The kind of scheduler event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedEventKind {
+    /// `sched_switch`: the scheduler gave a CPU to a new thread.
+    Switch {
+        /// Thread being descheduled.
+        prev_pid: Pid,
+        /// Its scheduling priority.
+        prev_prio: Priority,
+        /// Its state at the switch.
+        prev_state: ThreadState,
+        /// Thread being scheduled.
+        next_pid: Pid,
+        /// Its scheduling priority.
+        next_prio: Priority,
+    },
+    /// `sched_wakeup`: a thread became runnable.
+    Wakeup {
+        /// The woken thread.
+        pid: Pid,
+        /// Its scheduling priority.
+        prio: Priority,
+    },
+}
+
+/// One scheduler event: a `sched_switch` or `sched_wakeup` record.
+///
+/// From a switch event the paper extracts (i) the CPU where the switch
+/// happens, (ii) PID and priority of both previous and next threads, and
+/// (iii) the state of the previous thread (Sec. III-B).
+///
+/// # Example
+///
+/// ```
+/// use rtms_trace::{Cpu, Nanos, Pid, Priority, SchedEvent, ThreadState};
+///
+/// let ev = SchedEvent::switch(
+///     Nanos::from_micros(100),
+///     Cpu::new(0),
+///     Pid::new(10), Priority::NORMAL, ThreadState::Runnable,
+///     Pid::new(11), Priority::NORMAL,
+/// );
+/// assert_eq!(ev.prev_pid(), Some(Pid::new(10)));
+/// assert_eq!(ev.next_pid(), Some(Pid::new(11)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedEvent {
+    /// Timestamp of the event.
+    pub time: Nanos,
+    /// The CPU on which the event occurred.
+    pub cpu: Cpu,
+    /// Event-specific data.
+    pub kind: SchedEventKind,
+}
+
+impl SchedEvent {
+    /// Creates a `sched_switch` event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn switch(
+        time: Nanos,
+        cpu: Cpu,
+        prev_pid: Pid,
+        prev_prio: Priority,
+        prev_state: ThreadState,
+        next_pid: Pid,
+        next_prio: Priority,
+    ) -> Self {
+        SchedEvent {
+            time,
+            cpu,
+            kind: SchedEventKind::Switch { prev_pid, prev_prio, prev_state, next_pid, next_prio },
+        }
+    }
+
+    /// Creates a `sched_wakeup` event.
+    pub fn wakeup(time: Nanos, cpu: Cpu, pid: Pid, prio: Priority) -> Self {
+        SchedEvent { time, cpu, kind: SchedEventKind::Wakeup { pid, prio } }
+    }
+
+    /// The descheduled thread, if this is a switch event.
+    pub fn prev_pid(&self) -> Option<Pid> {
+        match &self.kind {
+            SchedEventKind::Switch { prev_pid, .. } => Some(*prev_pid),
+            SchedEventKind::Wakeup { .. } => None,
+        }
+    }
+
+    /// The newly scheduled thread, if this is a switch event.
+    pub fn next_pid(&self) -> Option<Pid> {
+        match &self.kind {
+            SchedEventKind::Switch { next_pid, .. } => Some(*next_pid),
+            SchedEventKind::Wakeup { .. } => None,
+        }
+    }
+
+    /// Whether this event involves `pid` (as prev, next, or woken thread).
+    ///
+    /// This is the predicate the kernel tracer's PID filter applies in
+    /// kernel space to cut the trace footprint (Sec. III-B).
+    pub fn involves(&self, pid: Pid) -> bool {
+        match &self.kind {
+            SchedEventKind::Switch { prev_pid, next_pid, .. } => {
+                *prev_pid == pid || *next_pid == pid
+            }
+            SchedEventKind::Wakeup { pid: woken, .. } => *woken == pid,
+        }
+    }
+
+    /// On-the-wire size in bytes of the exported record, matching the
+    /// size of the kernel's `sched_switch`/`sched_wakeup` tracepoint
+    /// records as exported through the perf buffer (fixed-size, 8-byte
+    /// aligned structs including the comm fields the paper's handler
+    /// copies).
+    pub fn encoded_size(&self) -> usize {
+        match self.kind {
+            SchedEventKind::Switch { .. } => 48,
+            SchedEventKind::Wakeup { .. } => 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sw(prev: u32, next: u32) -> SchedEvent {
+        SchedEvent::switch(
+            Nanos::from_nanos(1),
+            Cpu::new(0),
+            Pid::new(prev),
+            Priority::NORMAL,
+            ThreadState::Runnable,
+            Pid::new(next),
+            Priority::NORMAL,
+        )
+    }
+
+    #[test]
+    fn switch_accessors() {
+        let ev = sw(10, 11);
+        assert_eq!(ev.prev_pid(), Some(Pid::new(10)));
+        assert_eq!(ev.next_pid(), Some(Pid::new(11)));
+    }
+
+    #[test]
+    fn wakeup_has_no_switch_fields() {
+        let ev = SchedEvent::wakeup(Nanos::ZERO, Cpu::new(1), Pid::new(5), Priority::NORMAL);
+        assert_eq!(ev.prev_pid(), None);
+        assert_eq!(ev.next_pid(), None);
+        assert!(ev.involves(Pid::new(5)));
+        assert!(!ev.involves(Pid::new(6)));
+    }
+
+    #[test]
+    fn involves_matches_either_side() {
+        let ev = sw(10, 11);
+        assert!(ev.involves(Pid::new(10)));
+        assert!(ev.involves(Pid::new(11)));
+        assert!(!ev.involves(Pid::new(12)));
+    }
+
+    #[test]
+    fn encoded_sizes() {
+        assert_eq!(sw(1, 2).encoded_size(), 48);
+        assert_eq!(
+            SchedEvent::wakeup(Nanos::ZERO, Cpu::new(0), Pid::new(1), Priority::NORMAL)
+                .encoded_size(),
+            32
+        );
+    }
+
+    #[test]
+    fn thread_state_display() {
+        assert_eq!(ThreadState::Runnable.to_string(), "R");
+        assert_eq!(ThreadState::Sleeping.to_string(), "S");
+        assert_eq!(ThreadState::Dead.to_string(), "X");
+    }
+}

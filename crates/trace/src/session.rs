@@ -1,0 +1,203 @@
+//! Tracing sessions and the trace database (Fig. 2).
+//!
+//! Long application runs exceed trace-buffer capacity, so the paper collects
+//! traces in *segments*: the ROS2-RT and kernel tracers are stopped, the
+//! buffer contents are stored in a database server, and the tracers restart
+//! with empty buffers. A [`TraceSession`] holds the segments of one
+//! application run; a [`TraceDatabase`] holds many sessions, possibly
+//! labeled with an operating *mode* (city driving, highway driving, …) for
+//! multi-mode model synthesis.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// The trace segments collected during one run of the applications.
+///
+/// # Example
+///
+/// ```
+/// use rtms_trace::{Trace, TraceSession};
+///
+/// let mut session = TraceSession::new("run-1");
+/// session.push_segment(Trace::new());
+/// session.push_segment(Trace::new());
+/// assert_eq!(session.segments().len(), 2);
+/// assert!(session.merged().is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSession {
+    label: String,
+    segments: Vec<Trace>,
+}
+
+impl TraceSession {
+    /// Creates an empty session with a human-readable label.
+    pub fn new(label: impl Into<String>) -> Self {
+        TraceSession { label: label.into(), segments: Vec::new() }
+    }
+
+    /// The session label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Adds a trace segment (one start/stop cycle of TR_RT + TR_KN).
+    pub fn push_segment(&mut self, segment: Trace) {
+        self.segments.push(segment);
+    }
+
+    /// The stored segments.
+    pub fn segments(&self) -> &[Trace] {
+        &self.segments
+    }
+
+    /// Merges all segments of this session into a single chronologically
+    /// sorted trace.
+    pub fn merged(&self) -> Trace {
+        let mut out = Trace::new();
+        for seg in &self.segments {
+            out.merge(seg.clone());
+        }
+        out
+    }
+
+    /// Total encoded size of all segments in bytes.
+    pub fn encoded_size(&self) -> usize {
+        self.segments.iter().map(Trace::encoded_size).sum()
+    }
+}
+
+/// A store of tracing sessions collected across many runs and scenarios.
+///
+/// Sessions can be tagged with a mode; [`TraceDatabase::sessions_for_mode`]
+/// selects the inputs for a per-mode (multi-mode) DAG synthesis.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceDatabase {
+    entries: Vec<(Option<String>, TraceSession)>,
+}
+
+impl TraceDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        TraceDatabase::default()
+    }
+
+    /// Stores a session with no mode tag.
+    pub fn insert(&mut self, session: TraceSession) {
+        self.entries.push((None, session));
+    }
+
+    /// Stores a session tagged with an operating mode.
+    pub fn insert_with_mode(&mut self, mode: impl Into<String>, session: TraceSession) {
+        self.entries.push((Some(mode.into()), session));
+    }
+
+    /// All sessions, in insertion order.
+    pub fn sessions(&self) -> impl Iterator<Item = &TraceSession> {
+        self.entries.iter().map(|(_, s)| s)
+    }
+
+    /// Sessions tagged with `mode`.
+    pub fn sessions_for_mode<'a>(
+        &'a self,
+        mode: &'a str,
+    ) -> impl Iterator<Item = &'a TraceSession> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(m, _)| m.as_deref() == Some(mode))
+            .map(|(_, s)| s)
+    }
+
+    /// All distinct mode tags, sorted.
+    pub fn modes(&self) -> Vec<&str> {
+        let mut modes: Vec<&str> =
+            self.entries.iter().filter_map(|(m, _)| m.as_deref()).collect();
+        modes.sort_unstable();
+        modes.dedup();
+        modes
+    }
+
+    /// Number of stored sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Merges every session of every mode into one trace
+    /// (Fig. 2 processing option (i)).
+    pub fn merged_all(&self) -> Trace {
+        let mut out = Trace::new();
+        for (_, session) in &self.entries {
+            out.merge(session.merged());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CallbackKind, RosPayload};
+    use crate::ids::Pid;
+    use crate::time::Nanos;
+    use crate::RosEvent;
+
+    fn one_event_trace(t: u64) -> Trace {
+        let mut tr = Trace::new();
+        tr.push_ros(RosEvent::new(
+            Nanos::from_nanos(t),
+            Pid::new(1),
+            RosPayload::CallbackStart { kind: CallbackKind::Timer },
+        ));
+        tr
+    }
+
+    #[test]
+    fn session_merges_segments_in_time_order() {
+        let mut s = TraceSession::new("run");
+        s.push_segment(one_event_trace(20));
+        s.push_segment(one_event_trace(10));
+        let merged = s.merged();
+        assert_eq!(merged.ros_events().len(), 2);
+        assert_eq!(merged.ros_events()[0].time, Nanos::from_nanos(10));
+        assert_eq!(s.label(), "run");
+    }
+
+    #[test]
+    fn database_mode_filtering() {
+        let mut db = TraceDatabase::new();
+        db.insert_with_mode("city", TraceSession::new("c1"));
+        db.insert_with_mode("highway", TraceSession::new("h1"));
+        db.insert_with_mode("city", TraceSession::new("c2"));
+        db.insert(TraceSession::new("untagged"));
+
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.sessions_for_mode("city").count(), 2);
+        assert_eq!(db.sessions_for_mode("highway").count(), 1);
+        assert_eq!(db.modes(), vec!["city", "highway"]);
+    }
+
+    #[test]
+    fn merged_all_combines_everything() {
+        let mut db = TraceDatabase::new();
+        let mut s1 = TraceSession::new("a");
+        s1.push_segment(one_event_trace(1));
+        let mut s2 = TraceSession::new("b");
+        s2.push_segment(one_event_trace(2));
+        db.insert(s1);
+        db.insert_with_mode("city", s2);
+        assert_eq!(db.merged_all().ros_events().len(), 2);
+    }
+
+    #[test]
+    fn encoded_size_sums_segments() {
+        let mut s = TraceSession::new("run");
+        s.push_segment(one_event_trace(1));
+        s.push_segment(one_event_trace(2));
+        assert_eq!(s.encoded_size(), 2 * one_event_trace(1).encoded_size());
+    }
+}

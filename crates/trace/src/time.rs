@@ -1,0 +1,207 @@
+//! Simulation time as integer nanoseconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in nanoseconds.
+///
+/// All timestamps in the tracing pipeline are monotonic nanoseconds since
+/// simulation start, mirroring the monotonic clock eBPF's
+/// `bpf_ktime_get_ns()` exposes on a real system.
+///
+/// # Example
+///
+/// ```
+/// use rtms_trace::Nanos;
+///
+/// let a = Nanos::from_millis(2);
+/// let b = Nanos::from_micros(500);
+/// assert_eq!((a + b).as_nanos(), 2_500_000);
+/// assert_eq!((a - b).as_micros_f64(), 1_500.0);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// Time zero, the simulation epoch.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a timestamp from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a timestamp from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a timestamp from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a timestamp from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from a floating-point count of milliseconds,
+    /// rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative or not finite.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "millis must be finite and non-negative");
+        Nanos((ms * 1_000_000.0).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds, as `f64` (lossy for very large values).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in milliseconds, as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Value in seconds, as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: returns [`Nanos::ZERO`] instead of wrapping.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_add(rhs.0).map(Nanos)
+    }
+
+    /// Returns the smaller of two instants.
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two instants.
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self` (time going backwards is a bug).
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl From<u64> for Nanos {
+    fn from(ns: u64) -> Self {
+        Nanos(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_secs(1).as_nanos(), 1_000_000_000);
+        assert_eq!(Nanos::from_millis(3).as_millis_f64(), 3.0);
+        assert_eq!(Nanos::from_micros(7).as_micros_f64(), 7.0);
+        assert_eq!(Nanos::from_millis_f64(1.5).as_nanos(), 1_500_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut t = Nanos::from_micros(10);
+        t += Nanos::from_micros(5);
+        assert_eq!(t, Nanos::from_micros(15));
+        t -= Nanos::from_micros(5);
+        assert_eq!(t, Nanos::from_micros(10));
+        assert_eq!(Nanos::from_nanos(3).saturating_sub(Nanos::from_nanos(5)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Nanos::from_nanos(1);
+        let b = Nanos::from_nanos(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(Nanos::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Nanos::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Nanos::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Nanos::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_millis_rejected() {
+        let _ = Nanos::from_millis_f64(-1.0);
+    }
+}

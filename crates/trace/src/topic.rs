@@ -1,0 +1,199 @@
+//! Topics and source timestamps.
+//!
+//! ROS2 services are implemented over a pair of topics (a request topic and
+//! a response topic); Algorithm 1 of the paper needs to tell these apart
+//! from plain pub/sub topics, so a [`Topic`] carries a [`TopicKind`] next to
+//! its name, mirroring what the tracer can infer from which `rmw` function
+//! the name was read from (`rmw_take_int` vs `rmw_take_request` vs
+//! `rmw_take_response`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Classification of a DDS topic as seen by the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TopicKind {
+    /// A regular publish/subscribe topic.
+    Plain,
+    /// The request half of a ROS2 service.
+    ServiceRequest,
+    /// The response half of a ROS2 service.
+    ServiceResponse,
+}
+
+impl fmt::Display for TopicKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicKind::Plain => write!(f, "topic"),
+            TopicKind::ServiceRequest => write!(f, "service-request"),
+            TopicKind::ServiceResponse => write!(f, "service-response"),
+        }
+    }
+}
+
+/// A named DDS topic.
+///
+/// Cheap to clone (the name is reference-counted), hashable, and ordered so
+/// it can key maps in the synthesis algorithms.
+///
+/// # Example
+///
+/// ```
+/// use rtms_trace::{Topic, TopicKind};
+///
+/// let t = Topic::plain("/lidar_front/points_raw");
+/// assert_eq!(t.name(), "/lidar_front/points_raw");
+/// assert_eq!(t.kind(), TopicKind::Plain);
+///
+/// let rq = Topic::service_request("/sv3");
+/// assert_eq!(rq.name(), "/sv3Request");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Topic {
+    name: Arc<str>,
+    kind: TopicKind,
+}
+
+impl Topic {
+    /// Creates a plain pub/sub topic.
+    pub fn plain(name: impl Into<Arc<str>>) -> Self {
+        Topic { name: name.into(), kind: TopicKind::Plain }
+    }
+
+    /// Creates the request topic of the service `service_name`, following
+    /// the `<service>Request` naming the paper's figures use.
+    pub fn service_request(service_name: &str) -> Self {
+        Topic {
+            name: format!("{service_name}Request").into(),
+            kind: TopicKind::ServiceRequest,
+        }
+    }
+
+    /// Creates the response topic of the service `service_name`, following
+    /// the `<service>Reply` naming the paper's figures use.
+    pub fn service_response(service_name: &str) -> Self {
+        Topic {
+            name: format!("{service_name}Reply").into(),
+            kind: TopicKind::ServiceResponse,
+        }
+    }
+
+    /// The topic name, e.g. `/lidars/points_fused`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The topic classification.
+    pub fn kind(&self) -> TopicKind {
+        self.kind
+    }
+
+    /// Whether this topic carries service requests.
+    pub fn is_service_request(&self) -> bool {
+        self.kind == TopicKind::ServiceRequest
+    }
+
+    /// Whether this topic carries service responses.
+    pub fn is_service_response(&self) -> bool {
+        self.kind == TopicKind::ServiceResponse
+    }
+
+    /// Returns a copy of this topic with `suffix` concatenated to the name.
+    ///
+    /// Algorithm 1 uses this to disambiguate service topics per caller or
+    /// per client (lines 11, 13, 18, 20): e.g. `/sv3Request` becomes
+    /// `/sv3Request#cb:0x2a` for the caller with that callback ID.
+    pub fn with_suffix(&self, suffix: &str) -> Topic {
+        Topic {
+            name: format!("{}#{}", self.name, suffix).into(),
+            kind: self.kind,
+        }
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// The DDS source timestamp of a published sample.
+///
+/// Assigned by the writer at publication time and carried to every reader;
+/// the paper reads it by storing the out-parameter's address at
+/// `rmw_take_*` entry and dereferencing at exit. It is the join key that
+/// lets Algorithm 1 match a `dds_write` event to the `take` events of the
+/// samples it produced.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SourceTimestamp(u64);
+
+impl SourceTimestamp {
+    /// Creates a source timestamp from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        SourceTimestamp(raw)
+    }
+
+    /// The raw value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SourceTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srcTS:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_topic() {
+        let t = Topic::plain("/t1");
+        assert_eq!(t.name(), "/t1");
+        assert!(!t.is_service_request());
+        assert!(!t.is_service_response());
+        assert_eq!(t.to_string(), "/t1");
+    }
+
+    #[test]
+    fn service_topics() {
+        let rq = Topic::service_request("/sv1");
+        let rs = Topic::service_response("/sv1");
+        assert_eq!(rq.name(), "/sv1Request");
+        assert_eq!(rs.name(), "/sv1Reply");
+        assert!(rq.is_service_request());
+        assert!(rs.is_service_response());
+    }
+
+    #[test]
+    fn suffix_keeps_kind() {
+        let rq = Topic::service_request("/sv1").with_suffix("cb:0x1");
+        assert_eq!(rq.name(), "/sv1Request#cb:0x1");
+        assert_eq!(rq.kind(), TopicKind::ServiceRequest);
+    }
+
+    #[test]
+    fn topics_equal_by_name_and_kind() {
+        assert_eq!(Topic::plain("/a"), Topic::plain("/a"));
+        assert_ne!(
+            Topic::plain("/sv1Request"),
+            Topic::service_request("/sv1"),
+            "same name, different kind must differ"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topic::service_request("/sv2");
+        let json = serde_json::to_string(&t).expect("ser");
+        let back: Topic = serde_json::from_str(&json).expect("de");
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,159 @@
+//! The AVP LIDAR-based localization pipeline (Fig. 3b, Table II).
+//!
+//! Autoware's Autonomous Valet Parking localization demo: raw point clouds
+//! from the rear and front VLP-16 LIDARs (10 Hz) are filtered and
+//! transformed in two separate nodes, synchronized and fused in a fusion
+//! node, downsampled by a voxel grid, and fed to an NDT localizer that
+//! outputs the vehicle pose.
+//!
+//! The paper's testbed used real sensor data; here each callback's
+//! execution-time distribution is calibrated so that its (BCET, ACET,
+//! WCET) triple matches the measurements of Table II — the substitution
+//! documented in DESIGN.md. Two 10 Hz driver timers stand in for the LIDAR
+//! hardware.
+
+use rtms_ros2::{AppBuilder, AppSpec, WorkModel};
+use rtms_trace::Nanos;
+
+/// `(callback, node, BCET ms, ACET ms, WCET ms)` — Table II of the paper.
+pub const AVP_CALLBACKS: [(&str, &str, f64, f64, f64); 6] = [
+    ("cb1", "filter_transform_vlp16_rear", 13.82, 17.1, 19.82),
+    ("cb2", "filter_transform_vlp16_front", 23.31, 27.07, 30.5),
+    ("cb3", "point_cloud_fusion", 0.41, 3.1, 3.97),
+    ("cb4", "point_cloud_fusion", 0.38, 0.62, 3.36),
+    ("cb5", "voxel_grid_cloud_node", 6.58, 8.47, 13.36),
+    ("cb6", "p2d_ndt_localizer_node", 2.78, 25.64, 60.93),
+];
+
+/// The calibrated work model of one Table II callback.
+pub fn avp_table2_calibration(callback: &str) -> Option<WorkModel> {
+    avp_calibration_with_condition(callback, 1.0)
+}
+
+/// Calibrated work model under a run *condition* in `[0, 1]`: the tail of
+/// the distribution (WCET) shrinks to `min + (max-min) * (0.9 + 0.1 *
+/// condition)` while BCET and ACET stay fixed. Models the run-to-run
+/// variability of the paper's testbed (driving scenario, cache/DDS state,
+/// interfering SYN load): worst cases only materialize in unfavourable
+/// runs, which is why Fig. 4's mWCET estimate keeps growing over the first
+/// ~23 runs while mBCET/mACET barely move.
+///
+/// # Panics
+///
+/// Panics if `condition` is outside `[0, 1]`.
+pub fn avp_calibration_with_condition(callback: &str, condition: f64) -> Option<WorkModel> {
+    assert!((0.0..=1.0).contains(&condition), "condition must be in [0, 1]");
+    let f = 0.9 + 0.1 * condition;
+    AVP_CALLBACKS
+        .iter()
+        .find(|(name, ..)| *name == callback)
+        .map(|&(_, _, b, a, w)| WorkModel::bounded_millis(b, a, b + (w - b) * f))
+}
+
+/// Builds the AVP localization application, including the two 10 Hz LIDAR
+/// driver timers that stand in for the sensor hardware. Equivalent to
+/// [`avp_localization_app_with_condition`] with the most unfavourable
+/// condition (full Table II tails).
+pub fn avp_localization_app() -> AppSpec {
+    avp_localization_app_with_condition(1.0)
+}
+
+/// Builds the AVP localization application under a given run condition
+/// (see [`avp_calibration_with_condition`]).
+pub fn avp_localization_app_with_condition(condition: f64) -> AppSpec {
+    let cal = |cb: &str| {
+        avp_calibration_with_condition(cb, condition).expect("calibrated callback")
+    };
+    let mut app = AppBuilder::new("avp_localization");
+
+    let rear_drv = app.node("lidar_rear_driver");
+    app.timer(rear_drv, "lidar_rear_pub", Nanos::from_millis(100), WorkModel::constant_millis(0.05))
+        .publishes("/lidar_rear/points_raw");
+    let front_drv = app.node("lidar_front_driver");
+    app.timer(front_drv, "lidar_front_pub", Nanos::from_millis(100), WorkModel::constant_millis(0.05))
+        .publishes("/lidar_front/points_raw");
+
+    let rear = app.node("filter_transform_vlp16_rear");
+    app.subscriber(rear, "cb1", "/lidar_rear/points_raw", cal("cb1"))
+        .publishes("/lidar_rear/points_filtered");
+    let front = app.node("filter_transform_vlp16_front");
+    app.subscriber(front, "cb2", "/lidar_front/points_raw", cal("cb2"))
+        .publishes("/lidar_front/points_filtered");
+
+    let fusion = app.node("point_cloud_fusion");
+    app.subscriber(fusion, "cb3", "/lidar_rear/points_filtered", cal("cb3"));
+    app.subscriber(fusion, "cb4", "/lidar_front/points_filtered", cal("cb4"));
+    app.sync_group(fusion, "fusion_sync", ["cb3", "cb4"], ["/lidars/points_fused"]);
+
+    let voxel = app.node("voxel_grid_cloud_node");
+    app.subscriber(voxel, "cb5", "/lidars/points_fused", cal("cb5"))
+        .publishes("/lidars/points_fused_downsampled");
+
+    let ndt = app.node("p2d_ndt_localizer_node");
+    app.subscriber(ndt, "cb6", "/lidars/points_fused_downsampled", cal("cb6"))
+        .publishes("/localization/ndt_pose");
+
+    app.build().expect("AVP wiring is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_nodes_including_drivers() {
+        let app = avp_localization_app();
+        assert_eq!(app.nodes.len(), 7);
+    }
+
+    #[test]
+    fn calibration_matches_table_ii() {
+        for (cb, _, b, a, w) in AVP_CALLBACKS {
+            let model = avp_table2_calibration(cb).expect("calibrated");
+            let (min, max) = model.support();
+            assert_eq!(min, Nanos::from_millis_f64(b));
+            assert_eq!(max, Nanos::from_millis_f64(w));
+            assert_eq!(model.mean(), Nanos::from_millis_f64(a));
+        }
+        assert!(avp_table2_calibration("cb7").is_none());
+    }
+
+    #[test]
+    fn fusion_node_synchronizes_cb3_cb4() {
+        let app = avp_localization_app();
+        let fusion = app
+            .nodes
+            .iter()
+            .find(|n| n.name == "point_cloud_fusion")
+            .expect("fusion node");
+        assert_eq!(fusion.sync_groups.len(), 1);
+        assert_eq!(fusion.sync_groups[0].members, vec!["cb3", "cb4"]);
+        assert_eq!(fusion.sync_groups[0].outputs, vec!["/lidars/points_fused"]);
+    }
+
+    #[test]
+    fn condition_scales_only_the_tail() {
+        let full = avp_calibration_with_condition("cb6", 1.0).expect("cb6");
+        let mild = avp_calibration_with_condition("cb6", 0.0).expect("cb6");
+        assert_eq!(full.support().0, mild.support().0, "BCET unchanged");
+        assert_eq!(full.mean(), mild.mean(), "ACET unchanged");
+        assert!(mild.support().1 < full.support().1, "WCET tail shrinks");
+        let shrink = mild.support().1.as_millis_f64() / full.support().1.as_millis_f64();
+        assert!(shrink > 0.88 && shrink < 0.95, "about 10% tail reduction: {shrink}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn condition_out_of_range_rejected() {
+        let _ = avp_calibration_with_condition("cb1", 1.5);
+    }
+
+    #[test]
+    fn cb2_average_load_is_about_27_percent() {
+        // Sanity of the paper's remark: cb2 averages 27.07 ms at 10 Hz,
+        // i.e. a 27% processor load.
+        let (_, _, _, acet, _) = AVP_CALLBACKS[1];
+        let load = acet / 100.0;
+        assert!((load - 0.27).abs() < 0.01);
+    }
+}

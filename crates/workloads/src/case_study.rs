@@ -1,0 +1,108 @@
+//! The case-study setup of Sec. VI: SYN and AVP localization running
+//! concurrently, traced over repeated runs.
+
+use crate::avp::{avp_localization_app_with_condition};
+use crate::syn::syn_app;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtms_core::{synthesize, Dag};
+use rtms_ros2::{Ros2World, WorldBuilder};
+use rtms_trace::Nanos;
+
+/// Number of CPU cores of the paper's testbed (AMD Ryzen 9 3900X: 12
+/// physical cores).
+pub const TESTBED_CORES: usize = 12;
+
+/// Builds the concurrent SYN + AVP world on the testbed machine.
+///
+/// `seed` controls the workload randomness; `syn_scale` sets SYN's
+/// constant computational load for this run (the paper changes it across
+/// runs to vary the interference on AVP).
+///
+/// # Panics
+///
+/// Panics if `syn_scale` is not positive (validated by [`syn_app`]).
+pub fn case_study_world(seed: u64, syn_scale: f64) -> Ros2World {
+    case_study_world_with_condition(seed, syn_scale, 1.0)
+}
+
+/// [`case_study_world`] under a specific run condition (see
+/// [`crate::avp::avp_calibration_with_condition`]).
+pub fn case_study_world_with_condition(
+    seed: u64,
+    syn_scale: f64,
+    condition: f64,
+) -> Ros2World {
+    WorldBuilder::new(TESTBED_CORES)
+        .seed(seed)
+        .app(avp_localization_app_with_condition(condition))
+        .app(syn_app(syn_scale))
+        .build()
+        .expect("case-study apps are valid")
+}
+
+/// Traces one run of `duration` and synthesizes its timing model
+/// (one full pass of the Fig. 1 pipeline).
+pub fn run_and_synthesize(world: &mut Ros2World, duration: Nanos) -> Dag {
+    let trace = world.trace_run(duration);
+    synthesize(&trace)
+}
+
+/// The paper's experiment shape: `runs` independent runs of `duration`
+/// each, a DAG synthesized per run (deployment option (ii) of Fig. 2).
+/// SYN's load scale varies per run between 0.5× and 1.5×.
+///
+/// Returns the per-run DAGs, ready for merging or convergence studies.
+pub fn synthesize_runs(runs: usize, duration: Nanos, base_seed: u64) -> Vec<Dag> {
+    let mut conditions = StdRng::seed_from_u64(base_seed ^ 0xc0ffee);
+    (0..runs)
+        .map(|i| {
+            let scale = 0.5 + (i as f64 % 11.0) / 10.0; // 0.5 .. 1.5
+            let condition = conditions.gen_range(0.0..=1.0);
+            let mut world =
+                case_study_world_with_condition(base_seed + i as u64, scale, condition);
+            run_and_synthesize(&mut world, duration)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_core::merge_dags;
+
+    #[test]
+    fn one_short_run_produces_a_model() {
+        let mut world = case_study_world(1, 1.0);
+        let dag = run_and_synthesize(&mut world, Nanos::from_secs(2));
+        assert!(dag.is_acyclic());
+        // AVP alone contributes 9 vertices (2 drivers + cb1..cb6 + `&`);
+        // SYN contributes 19 more once all interactions have occurred.
+        assert!(dag.vertices().len() >= 9, "got {} vertices", dag.vertices().len());
+        // cb6 is present and annotated.
+        let cb6 = dag
+            .vertices()
+            .iter()
+            .find(|v| v.node == "p2d_ndt_localizer_node")
+            .expect("cb6 vertex");
+        assert!(cb6.stats.count() > 0);
+    }
+
+    #[test]
+    fn multiple_runs_merge() {
+        let dags = synthesize_runs(3, Nanos::from_secs(1), 7);
+        assert_eq!(dags.len(), 3);
+        let merged = merge_dags(dags.clone());
+        assert!(merged.is_acyclic());
+        // Merged stats have at least as many samples as any single run.
+        let single_max = dags[0]
+            .vertices()
+            .iter()
+            .map(|v| v.stats.count())
+            .max()
+            .unwrap_or(0);
+        let merged_max =
+            merged.vertices().iter().map(|v| v.stats.count()).max().unwrap_or(0);
+        assert!(merged_max >= 2 * single_max.min(1));
+    }
+}

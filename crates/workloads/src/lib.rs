@@ -1,0 +1,26 @@
+//! Workloads of the paper's case study (Sec. VI).
+//!
+//! - [`syn`]: the SYN synthetic application — six ROS2 nodes covering every
+//!   scenario of Fig. 3a (same-type callbacks within a node, mixed-type
+//!   nodes, multi-subscriber topics, a service invoked from two different
+//!   callers, and `message_filters` data synchronization), with an OR
+//!   junction where two timers publish the same topic.
+//! - [`avp`]: the Autoware Autonomous Valet Parking localization pipeline
+//!   of Fig. 3b — two LIDAR filter nodes feeding a synchronized fusion
+//!   node, a voxel-grid downsampler, and the NDT localizer — with
+//!   execution-time distributions calibrated to Table II.
+//! - [`case_study`]: both applications running concurrently on a machine
+//!   modeled after the paper's testbed, plus run-repetition helpers.
+
+pub mod avp;
+pub mod case_study;
+pub mod syn;
+
+pub use avp::{
+    avp_calibration_with_condition, avp_localization_app, avp_localization_app_with_condition,
+    avp_table2_calibration, AVP_CALLBACKS,
+};
+pub use case_study::{
+    case_study_world, case_study_world_with_condition, run_and_synthesize, synthesize_runs,
+};
+pub use syn::{syn_app, SYN_EDGE_COUNT, SYN_VERTEX_COUNT};

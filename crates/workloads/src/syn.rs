@@ -1,0 +1,150 @@
+//! The SYN synthetic application (Fig. 3a).
+//!
+//! Six nodes exercising every structural feature the framework must
+//! identify (Sec. VI, scenarios (i)–(v)):
+//!
+//! | node         | callbacks |
+//! |--------------|-----------|
+//! | `syn_mixed`  | timer `T1` → `/t1`; subscriber `SC5` ⊂ `/clp3`; service `SV3` = `/sv3` |
+//! | `syn_timers` | timer `T2` → `/clp3`; timer `T3` → `/t3`, `/clp3`; subscriber `SC6` ⊂ `/f3` |
+//! | `syn_chain`  | `SC1` ⊂ `/t1` calls `CL1`; client `CL1` (`/sv1`) → `/f1`; `SC3` ⊂ `/t3` calls `CL3`; client `CL3` (`/sv3`) |
+//! | `syn_servers`| service `SV1` = `/sv1`; service `SV2` = `/sv2` → `/f2` |
+//! | `syn_clients`| `SC4` ⊂ `/clp3` calls `CL2`; client `CL2` (`/sv2`) calls `CL4`; client `CL4` (`/sv3`) |
+//! | `syn_fusion` | `SC2_1` ⊂ `/f1` (sync); `SC2_2` ⊂ `/f2` (sync); synchronizer → `/f3` |
+//!
+//! Properties covered: (i) same-type callbacks within a node (T2/T3,
+//! SV1/SV2, CL2/CL4, SC1/SC3); (ii) a node mixing timer, subscriber and
+//! service (`syn_mixed`); (iii) `/clp3` subscribed by SC4 *and* SC5;
+//! (iv) `/sv3` invoked from two different callers (SC3 via CL3, CL2 via
+//! CL4) — the model must show **two** SV3 vertices; (v) `/f1`+`/f2`
+//! synchronized into `/f3` via an `&` junction. T2 and T3 both publishing
+//! `/clp3` creates OR junctions at SC4 and SC5.
+
+use rtms_ros2::{AppBuilder, AppSpec, WorkModel};
+use rtms_trace::Nanos;
+
+/// Vertices the synthesized SYN model must contain: 17 callback entries
+/// (the `/sv3` service splits into two) plus one `&` junction.
+pub const SYN_VERTEX_COUNT: usize = 19;
+
+/// Edges the synthesized SYN model must contain.
+pub const SYN_EDGE_COUNT: usize = 19;
+
+/// Builds the SYN application. `scale` multiplies every callback's
+/// constant computational load — the paper uses "a constant computational
+/// load for a single run" and varies it across runs to create varying
+/// interference for AVP.
+///
+/// # Panics
+///
+/// Panics if `scale` is not finite and positive.
+pub fn syn_app(scale: f64) -> AppSpec {
+    assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+    let w = |ms: f64| WorkModel::constant_millis(ms * scale);
+    let mut app = AppBuilder::new("syn");
+
+    let mixed = app.node("syn_mixed");
+    app.timer(mixed, "T1", Nanos::from_millis(100), w(1.0)).publishes("/t1");
+    app.subscriber(mixed, "SC5", "/clp3", w(0.5));
+    app.service(mixed, "SV3", "/sv3", w(1.5));
+
+    let timers = app.node("syn_timers");
+    app.timer(timers, "T2", Nanos::from_millis(80), w(0.8)).publishes("/clp3");
+    app.timer(timers, "T3", Nanos::from_millis(120), w(0.6))
+        .publishes("/t3")
+        .publishes("/clp3");
+    app.subscriber(timers, "SC6", "/f3", w(0.4));
+
+    let chain = app.node("syn_chain");
+    app.subscriber(chain, "SC1", "/t1", w(0.9)).calls("CL1");
+    app.client(chain, "CL1", "/sv1", w(0.7)).publishes("/f1");
+    app.subscriber(chain, "SC3", "/t3", w(0.8)).calls("CL3");
+    app.client(chain, "CL3", "/sv3", w(0.3));
+
+    let servers = app.node("syn_servers");
+    app.service(servers, "SV1", "/sv1", w(1.2));
+    app.service(servers, "SV2", "/sv2", w(1.0)).publishes("/f2");
+
+    let clients = app.node("syn_clients");
+    app.subscriber(clients, "SC4", "/clp3", w(0.6)).calls("CL2");
+    app.client(clients, "CL2", "/sv2", w(0.5)).calls("CL4");
+    app.client(clients, "CL4", "/sv3", w(0.4));
+
+    let fusion = app.node("syn_fusion");
+    app.subscriber(fusion, "SC2_1", "/f1", w(0.5));
+    app.subscriber(fusion, "SC2_2", "/f2", w(0.5));
+    app.sync_group(fusion, "MS1", ["SC2_1", "SC2_2"], ["/f3"]);
+
+    app.build().expect("SYN wiring is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_ros2::CallbackSpec;
+
+    #[test]
+    fn builds_with_six_nodes() {
+        let app = syn_app(1.0);
+        assert_eq!(app.nodes.len(), 6);
+        let total_cbs: usize = app.nodes.iter().map(|n| n.callbacks.len()).sum();
+        assert_eq!(total_cbs, 17);
+    }
+
+    #[test]
+    fn sv3_has_two_distinct_call_paths() {
+        let app = syn_app(1.0);
+        let sv3_clients: Vec<&str> = app
+            .nodes
+            .iter()
+            .flat_map(|n| &n.callbacks)
+            .filter_map(|cb| match cb {
+                CallbackSpec::Client { name, service, .. } if service == "/sv3" => {
+                    Some(name.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sv3_clients.len(), 2, "two clients of /sv3: {sv3_clients:?}");
+    }
+
+    #[test]
+    fn clp3_has_two_subscribers_and_two_publishers() {
+        let app = syn_app(1.0);
+        let subs = app
+            .nodes
+            .iter()
+            .flat_map(|n| &n.callbacks)
+            .filter(|cb| matches!(cb, CallbackSpec::Subscriber { topic, .. } if topic == "/clp3"))
+            .count();
+        assert_eq!(subs, 2);
+        let pubs = app
+            .nodes
+            .iter()
+            .flat_map(|n| &n.callbacks)
+            .filter(|cb| {
+                cb.outputs().iter().any(
+                    |o| matches!(o, rtms_ros2::OutputAction::Publish(t) if t == "/clp3"),
+                )
+            })
+            .count();
+        assert_eq!(pubs, 2);
+    }
+
+    #[test]
+    fn scale_multiplies_load() {
+        let a = syn_app(1.0);
+        let b = syn_app(2.0);
+        let work = |app: &AppSpec| match &app.nodes[0].callbacks[0] {
+            CallbackSpec::Timer { work, .. } => work.mean(),
+            _ => panic!("T1 first"),
+        };
+        assert_eq!(work(&b).as_nanos(), 2 * work(&a).as_nanos());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        let _ = syn_app(0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's headline case study: trace AVP LIDAR localization running
+//! concurrently with SYN, synthesize the model, and report Table II-style
+//! execution times plus the measured end-to-end latency of the
+//! localization chain (the Sec. VII extension).
+//!
+//! Run with: `cargo run --example avp_localization [--release]`
+
+use ros2_tms::analysis::end_to_end_latencies;
+use ros2_tms::synthesis::{merge_dags, synthesize};
+use ros2_tms::trace::Nanos;
+use ros2_tms::workloads::{case_study_world, AVP_CALLBACKS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three runs of 20 s each (scaled down from the paper's 50 x 80 s;
+    // the table2 bench binary runs the full configuration).
+    let mut dags = Vec::new();
+    let mut last_trace = None;
+    for run in 0..3u64 {
+        let mut world = case_study_world(run, 0.8 + 0.2 * run as f64);
+        let trace = world.trace_run(Nanos::from_secs(20));
+        dags.push(synthesize(&trace));
+        last_trace = Some(trace);
+    }
+    let merged = merge_dags(dags);
+
+    println!("AVP localization, measured over 3 runs x 20 s (paper values in parens):");
+    println!("{:<6}{:<30}{:>16}{:>16}{:>16}", "CB", "node", "mBCET", "mACET", "mWCET");
+    for (cb, node, b, a, w) in AVP_CALLBACKS {
+        let vertex = merged
+            .vertices()
+            .iter()
+            .filter(|v| v.node == node)
+            .min_by_key(|v| {
+                let target = Nanos::from_millis_f64(a).as_nanos() as i128;
+                (v.stats.macet().map_or(i128::MAX, |m| m.as_nanos() as i128) - target).abs()
+            })
+            .expect("vertex present");
+        let f = |x: Option<Nanos>, p: f64| {
+            x.map(|n| format!("{:6.2} ({p:5.2})", n.as_millis_f64())).unwrap_or_default()
+        };
+        println!(
+            "{:<6}{:<30}{:>16}{:>16}{:>16}",
+            cb,
+            node,
+            f(vertex.stats.mbcet(), b),
+            f(vertex.stats.macet(), a),
+            f(vertex.stats.mwcet(), w)
+        );
+    }
+
+    // End-to-end latency of the localization chain, measured by following
+    // source timestamps through the trace.
+    let trace = last_trace.expect("at least one run");
+    let mut latencies =
+        end_to_end_latencies(&trace, "/lidar_front/points_raw", "/localization/ndt_pose");
+    latencies.sort_by_key(|m| m.latency);
+    if !latencies.is_empty() {
+        let min = latencies.first().expect("non-empty").latency;
+        let max = latencies.last().expect("non-empty").latency;
+        let avg = latencies.iter().map(|m| m.latency.as_millis_f64()).sum::<f64>()
+            / latencies.len() as f64;
+        println!();
+        println!(
+            "end-to-end latency /lidar_front/points_raw -> /localization/ndt_pose \
+             over {} samples: min {:.1} ms, avg {avg:.1} ms, max {:.1} ms",
+            latencies.len(),
+            min.as_millis_f64(),
+            max.as_millis_f64()
+        );
+    }
+    Ok(())
+}

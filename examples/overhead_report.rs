@@ -1,0 +1,40 @@
+//! Tracing-cost report (Sec. VI overheads + Sec. III-B filtering): trace
+//! volume, probe CPU usage, and the effect of in-kernel PID filtering.
+//!
+//! Run with: `cargo run --example overhead_report`
+
+use ros2_tms::ros2::WorldBuilder;
+use ros2_tms::trace::Nanos;
+use ros2_tms::workloads::{avp_localization_app, syn_app};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let secs = 20u64;
+    let mut world = WorldBuilder::new(12)
+        .seed(3)
+        .app(avp_localization_app())
+        .app(syn_app(1.0))
+        .background_load(Nanos::from_millis(3), Nanos::from_micros(300), Nanos::from_millis(1))
+        .background_load(Nanos::from_millis(5), Nanos::from_micros(300), Nanos::from_millis(2))
+        .build()?;
+    let trace = world.trace_run(Nanos::from_secs(secs));
+
+    println!("tracing SYN + AVP + background load for {secs}s:");
+    println!(
+        "  trace volume:   {:.2} MB ({} middleware + {} scheduler events)",
+        world.trace_volume_bytes() as f64 / 1e6,
+        trace.ros_events().len(),
+        trace.sched_events().len()
+    );
+    let report = world.overhead_report();
+    println!(
+        "  probe cost:     {:.4} CPU cores avg, {:.2}% of the application load",
+        report.avg_cores,
+        report.frac_of_app_load * 100.0
+    );
+    let (seen, exported) = world.kernel_filter_stats();
+    println!(
+        "  PID filtering:  {seen} sched events seen in-kernel, {exported} exported ({:.1}x reduction)",
+        seen as f64 / exported.max(1) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Facade crate for the `ros2-tms` workspace: trace-enabled timing model
+//! synthesis for ROS2-based autonomous applications (DATE 2024 reproduction).
+//!
+//! Re-exports every workspace crate under a stable, discoverable path. See
+//! the README for an architecture overview and `examples/` for runnable
+//! demonstrations.
+
+pub use rtms_analysis as analysis;
+pub use rtms_core as synthesis;
+pub use rtms_ebpf as ebpf;
+pub use rtms_ros2 as ros2;
+pub use rtms_sched as sched;
+pub use rtms_trace as trace;
+pub use rtms_workloads as workloads;

@@ -1,0 +1,257 @@
+//! Whole-pipeline integration tests: simulated stack → eBPF traces →
+//! Algorithm 1/2 → DAG, validated against the simulator's ground truth and
+//! the structures of Fig. 3a / Fig. 3b.
+
+use ros2_tms::synthesis::{merge_dags, synthesize, VertexKind};
+use ros2_tms::trace::{CallbackKind, Nanos};
+use ros2_tms::workloads::{case_study_world, run_and_synthesize, syn_app};
+use ros2_tms::workloads::{avp_localization_app, SYN_EDGE_COUNT, SYN_VERTEX_COUNT};
+use ros2_tms::ros2::WorldBuilder;
+
+#[test]
+fn algorithm2_recovers_exact_execution_times_under_contention() {
+    // Run SYN + AVP on a deliberately small machine (2 cores) so callbacks
+    // get preempted and migrate, then check that Algorithm 2's measurement
+    // equals the CPU time the simulator issued — for EVERY instance.
+    let mut world = WorldBuilder::new(2)
+        .seed(42)
+        .app(avp_localization_app())
+        .app(syn_app(1.0))
+        .build()
+        .expect("world");
+    let trace = world.trace_run(Nanos::from_secs(3));
+    let gt = world.ground_truth();
+    assert!(gt.instances().len() > 100, "enough instances to be meaningful");
+
+    let mut preempted = 0usize;
+    for rec in gt.instances() {
+        let measured =
+            ros2_tms::synthesis::execution_time(rec.start, rec.end, rec.pid, trace.sched_events());
+        assert_eq!(
+            measured, rec.issued,
+            "Alg.2 must recover the issued CPU time exactly (cb {:?})",
+            gt.info(rec.callback)
+        );
+        if rec.end - rec.start > rec.issued {
+            preempted += 1;
+        }
+    }
+    assert!(
+        preempted > 0,
+        "the scenario must actually exhibit preemption/queueing, else the test is vacuous"
+    );
+}
+
+#[test]
+fn syn_model_matches_fig3a_structure() {
+    let mut world = WorldBuilder::new(4)
+        .seed(7)
+        .app(syn_app(1.0))
+        .build()
+        .expect("world");
+    let dag = run_and_synthesize_local(&mut world);
+
+    assert!(dag.is_acyclic());
+    assert_eq!(dag.vertices().len(), SYN_VERTEX_COUNT, "\n{}", dag.to_dot());
+    assert_eq!(dag.edges().len(), SYN_EDGE_COUNT, "\n{}", dag.to_dot());
+
+    // (iv) Two vertices for the /sv3 service — one per caller — and no
+    // cross-caller chain.
+    let sv3: Vec<_> = dag
+        .vertex_ids()
+        .filter(|&v| {
+            dag.vertex(v).node == "syn_mixed"
+                && dag.vertex(v).kind == VertexKind::Callback(CallbackKind::Service)
+        })
+        .collect();
+    assert_eq!(sv3.len(), 2, "service invoked by two callers must split");
+    for &v in &sv3 {
+        assert_eq!(dag.predecessors(v).len(), 1, "each SV3 vertex has exactly one caller");
+        assert_eq!(dag.successors(v).len(), 1, "each SV3 vertex responds to exactly one client");
+    }
+    // The two SV3 vertices connect disjoint caller/client pairs.
+    let pair0 = (dag.predecessors(sv3[0])[0], dag.successors(sv3[0])[0]);
+    let pair1 = (dag.predecessors(sv3[1])[0], dag.successors(sv3[1])[0]);
+    assert_ne!(pair0.0, pair1.0);
+    assert_ne!(pair0.1, pair1.1);
+
+    // (iii) + OR: /clp3 subscribed by SC4 and SC5, each fed by T2 and T3.
+    let clp3_subs: Vec<_> = dag
+        .vertex_ids()
+        .filter(|&v| dag.vertex(v).in_topic.as_deref() == Some("/clp3"))
+        .collect();
+    assert_eq!(clp3_subs.len(), 2);
+    for &v in &clp3_subs {
+        assert!(dag.vertex(v).or_junction, "two publishers on /clp3 -> OR junction");
+        assert_eq!(dag.predecessors(v).len(), 2);
+    }
+
+    // (v) Synchronization: one `&` junction with two members, feeding the
+    // /f3 subscriber.
+    let junctions: Vec<_> = dag
+        .vertex_ids()
+        .filter(|&v| dag.vertex(v).kind == VertexKind::AndJunction)
+        .collect();
+    assert_eq!(junctions.len(), 1);
+    let junction = junctions[0];
+    assert_eq!(dag.vertex(junction).node, "syn_fusion");
+    assert_eq!(dag.predecessors(junction).len(), 2);
+    assert_eq!(dag.vertex(junction).stats.mwcet(), Some(Nanos::ZERO));
+    let f3_sub = dag
+        .vertex_ids()
+        .find(|&v| dag.vertex(v).in_topic.as_deref() == Some("/f3"))
+        .expect("/f3 subscriber");
+    assert_eq!(dag.predecessors(f3_sub), vec![junction]);
+}
+
+fn run_and_synthesize_local(world: &mut ros2_tms::ros2::Ros2World) -> ros2_tms::synthesis::Dag {
+    let trace = world.trace_run(Nanos::from_secs(5));
+    synthesize(&trace)
+}
+
+#[test]
+fn avp_model_matches_fig3b_structure() {
+    let mut world = WorldBuilder::new(4)
+        .seed(11)
+        .app(avp_localization_app())
+        .build()
+        .expect("world");
+    let dag = run_and_synthesize_local(&mut world);
+    assert!(dag.is_acyclic());
+
+    // The localization chain: cb1/cb2 -> (cb3, cb4) -> & -> cb5 -> cb6.
+    let by_node = |node: &str| {
+        dag.vertex_ids()
+            .find(|&v| {
+                dag.vertex(v).node == node && dag.vertex(v).kind != VertexKind::AndJunction
+            })
+            .unwrap_or_else(|| panic!("vertex for {node}"))
+    };
+    let cb1 = by_node("filter_transform_vlp16_rear");
+    let cb2 = by_node("filter_transform_vlp16_front");
+    let cb5 = by_node("voxel_grid_cloud_node");
+    let cb6 = by_node("p2d_ndt_localizer_node");
+    let junction = dag
+        .vertex_ids()
+        .find(|&v| dag.vertex(v).kind == VertexKind::AndJunction)
+        .expect("fusion junction");
+    assert_eq!(dag.vertex(junction).node, "point_cloud_fusion");
+
+    // cb3 and cb4 are the two sync members in the fusion node.
+    let members: Vec<_> = dag
+        .vertex_ids()
+        .filter(|&v| dag.vertex(v).is_sync_member)
+        .collect();
+    assert_eq!(members.len(), 2);
+    for &m in &members {
+        assert_eq!(dag.vertex(m).node, "point_cloud_fusion");
+        assert!(dag.successors(m).contains(&junction));
+    }
+    // Filters feed the sync members.
+    let cb1_succ = dag.successors(cb1);
+    assert_eq!(cb1_succ.len(), 1);
+    assert!(members.contains(&cb1_succ[0]));
+    let cb2_succ = dag.successors(cb2);
+    assert_eq!(cb2_succ.len(), 1);
+    assert!(members.contains(&cb2_succ[0]));
+    // Junction -> cb5 -> cb6.
+    assert_eq!(dag.successors(junction), vec![cb5]);
+    assert_eq!(dag.successors(cb5), vec![cb6]);
+    assert!(dag.vertex(cb6).out_topics.contains(&"/localization/ndt_pose".to_string()));
+}
+
+#[test]
+fn avp_measured_times_match_table2_calibration() {
+    // One longer run: measured mBCET/mWCET must sit inside the calibrated
+    // support and mACET near the calibrated mean.
+    let mut world = case_study_world(3, 1.0);
+    let dag = run_and_synthesize(&mut world, Nanos::from_secs(40));
+    for (cb, node, bcet, acet, wcet) in ros2_tms::workloads::AVP_CALLBACKS {
+        let v = dag
+            .vertex_ids()
+            .map(|id| dag.vertex(id))
+            .filter(|v| v.node == node && v.kind != VertexKind::AndJunction)
+            .max_by_key(|v| {
+                // cb3/cb4 share a node: pick by matching calibrated mean.
+                let target = Nanos::from_millis_f64(acet).as_nanos() as i128;
+                -((v.stats.macet().map_or(i128::MAX, |m| m.as_nanos() as i128) - target).abs())
+            })
+            .unwrap_or_else(|| panic!("vertex for {cb}"));
+        let mb = v.stats.mbcet().expect("samples").as_millis_f64();
+        let mw = v.stats.mwcet().expect("samples").as_millis_f64();
+        let ma = v.stats.macet().expect("samples").as_millis_f64();
+        assert!(mb >= bcet - 1e-6, "{cb}: mBCET {mb} below calibrated BCET {bcet}");
+        assert!(mw <= wcet + 1e-6, "{cb}: mWCET {mw} above calibrated WCET {wcet}");
+        assert!(
+            (ma - acet).abs() / acet < 0.25,
+            "{cb}: mACET {ma} too far from calibrated ACET {acet}"
+        );
+    }
+}
+
+#[test]
+fn merged_model_over_runs_is_stable_and_monotone() {
+    // Merge DAGs from several seeds: structure fixed, mWCET non-decreasing.
+    let mut dags = Vec::new();
+    for seed in 0..4 {
+        let mut world = WorldBuilder::new(4)
+            .seed(seed)
+            .app(avp_localization_app())
+            .build()
+            .expect("world");
+        let trace = world.trace_run(Nanos::from_secs(5));
+        dags.push(synthesize(&trace));
+    }
+    let first_structure =
+        (dags[0].vertices().len(), dags[0].edges().len());
+    let mut acc = ros2_tms::synthesis::Dag::new();
+    let mut prev_wcet = Nanos::ZERO;
+    for d in &dags {
+        acc.merge(d);
+        assert_eq!(
+            (acc.vertices().len(), acc.edges().len()),
+            first_structure,
+            "same app across runs must merge without structural growth"
+        );
+        let cb6 = acc
+            .vertices()
+            .iter()
+            .find(|v| v.node == "p2d_ndt_localizer_node")
+            .expect("cb6");
+        let w = cb6.stats.mwcet().expect("samples");
+        assert!(w >= prev_wcet, "merged mWCET must be non-decreasing");
+        prev_wcet = w;
+    }
+}
+
+#[test]
+fn timer_periods_recovered_from_trace() {
+    let mut world = WorldBuilder::new(4)
+        .seed(9)
+        .app(syn_app(1.0))
+        .build()
+        .expect("world");
+    let trace = world.trace_run(Nanos::from_secs(5));
+    let dag = synthesize(&trace);
+    // T1 100 ms, T2 80 ms, T3 120 ms: recovered from start-time gaps.
+    let mut periods: Vec<f64> = dag
+        .vertices()
+        .iter()
+        .filter(|v| v.kind == VertexKind::Callback(CallbackKind::Timer))
+        .filter_map(|v| v.period.macet())
+        .map(|p| p.as_millis_f64())
+        .collect();
+    periods.sort_by(f64::total_cmp);
+    assert_eq!(periods.len(), 3);
+    assert!((periods[0] - 80.0).abs() < 1.0, "{periods:?}");
+    assert!((periods[1] - 100.0).abs() < 1.0, "{periods:?}");
+    assert!((periods[2] - 120.0).abs() < 1.0, "{periods:?}");
+}
+
+#[test]
+fn merge_dags_helper_pools_runs() {
+    let dags = ros2_tms::workloads::synthesize_runs(2, Nanos::from_secs(1), 100);
+    let merged = merge_dags(dags);
+    assert!(merged.is_acyclic());
+    assert!(!merged.vertices().is_empty());
+}
