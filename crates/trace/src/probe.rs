@@ -69,7 +69,10 @@ impl fmt::Display for ProbeAttachment {
 }
 
 /// Static description of one probe: a row of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Serializable (for reports) but not deserializable: the catalog is static
+/// data borrowed for `'static`, never parsed back in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct ProbeSpec {
     /// The probe number.
     pub probe: Probe,

@@ -6,6 +6,7 @@
 //! demonstrations.
 
 pub use rtms_analysis as analysis;
+pub use rtms_bench as bench;
 pub use rtms_core as synthesis;
 pub use rtms_ebpf as ebpf;
 pub use rtms_ros2 as ros2;

@@ -1,0 +1,54 @@
+//! Guards the README quickstart: this test exercises exactly the code path
+//! documented in README.md and `examples/quickstart.rs` (describe an
+//! application → trace a run → synthesize the model → export DOT), with
+//! assertions on each step's output, so the documented entry point cannot
+//! silently rot.
+
+use ros2_tms::ros2::{AppBuilder, WorkModel, WorldBuilder};
+use ros2_tms::synthesis::synthesize;
+use ros2_tms::trace::Nanos;
+
+#[test]
+fn quickstart_path_works_as_documented() {
+    // 1. Describe the application: a 10 Hz camera driver and a detector.
+    let mut app = AppBuilder::new("quickstart");
+    let camera = app.node("camera_driver");
+    app.timer(camera, "capture", Nanos::from_millis(100), WorkModel::constant_millis(2.0))
+        .publishes("/image_raw");
+    let detector = app.node("object_detector");
+    app.subscriber(detector, "detect", "/image_raw", WorkModel::bounded_millis(8.0, 12.0, 20.0))
+        .publishes("/detections");
+    let spec = app.build().expect("quickstart app must validate");
+
+    // 2. Run it on a traced 4-core machine for 5 simulated seconds.
+    let mut world =
+        WorldBuilder::new(4).seed(42).app(spec).build().expect("quickstart world must build");
+    let trace = world.trace_run(Nanos::from_secs(5));
+    assert!(!trace.ros_events().is_empty(), "tracers must capture middleware events");
+    assert!(!trace.sched_events().is_empty(), "kernel tracer must capture sched events");
+
+    // 3. Synthesize the timing model: one vertex per callback, with the
+    //    timer-to-subscriber edge over /image_raw.
+    let dag = synthesize(&trace);
+    let ids: Vec<_> = dag.vertex_ids().collect();
+    assert_eq!(ids.len(), 2, "quickstart model has two callbacks");
+    let nodes: Vec<&str> = ids.iter().map(|&id| dag.vertex(id).node.as_str()).collect();
+    assert!(nodes.contains(&"camera_driver"), "missing camera_driver vertex in {nodes:?}");
+    assert!(nodes.contains(&"object_detector"), "missing object_detector vertex in {nodes:?}");
+    let edges: usize = ids.iter().map(|&id| dag.successors(id).len()).sum();
+    assert_eq!(edges, 1, "exactly one edge: /image_raw from timer to subscriber");
+
+    // The measured ~100 ms timer period must be recovered from the trace.
+    let timer = ids
+        .iter()
+        .map(|&id| dag.vertex(id))
+        .find(|v| v.node == "camera_driver")
+        .expect("camera_driver vertex");
+    let period = timer.period.macet().expect("timer period measured").as_millis_f64();
+    assert!((90.0..110.0).contains(&period), "expected ~100 ms period, measured {period:.2} ms");
+
+    // 4. Export for downstream tools.
+    let dot = dag.to_dot();
+    assert!(dot.starts_with("digraph"), "DOT export must be a digraph");
+    assert!(dot.contains("camera_driver"), "DOT export must name the nodes");
+}

@@ -1,0 +1,160 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! Offline builds cannot fetch the real proptest, so this crate implements
+//! the subset the workspace's property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, tuple and range strategies, a
+//! regex-subset string strategy, [`collection::vec`], [`Just`], `any::<T>()`,
+//! and the [`proptest!`] / [`prop_oneof!`] / `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (derived from the test name), and failing inputs are
+//! not shrunk — the panic message reports the raw failing case number.
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Builds the deterministic RNG for one test function.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name keeps distinct tests on distinct streams
+    // while staying reproducible across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Types with a canonical strategy, used by [`prelude::any`].
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The glob import the tests start from: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::ProptestConfig;
+
+    use crate::strategy::AnyStrategy;
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: crate::Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy::new()
+    }
+}
+
+/// Runs `cases` iterations of one property. Used by [`proptest!`].
+#[doc(hidden)]
+pub fn __run_cases(config: &ProptestConfig, name: &str, mut case: impl FnMut(&mut StdRng)) {
+    let mut rng = test_rng(name);
+    for i in 0..config.cases {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("proptest: property `{name}` failed on case {i} (deterministic seed; re-run reproduces it)");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::__run_cases(&config, stringify!($name), |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)*
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::__boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

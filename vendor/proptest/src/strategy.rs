@@ -1,0 +1,304 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use crate::Arbitrary;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// simply produces a value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy, unifying heterogeneous strategies in [`prop_oneof!`].
+///
+/// [`prop_oneof!`]: crate::prop_oneof
+#[doc(hidden)]
+pub fn __boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<U, S: Strategy, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; `options` must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Strategy produced by [`crate::prelude::any`].
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> AnyStrategy<T> {
+    pub(crate) fn new() -> Self {
+        AnyStrategy { _marker: PhantomData }
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String literals act as regex-subset strategies, as in real proptest.
+///
+/// Supported syntax: literal characters and character classes `[...]`
+/// (with `a-z` ranges), each optionally followed by `{n}` or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum PatElem {
+    Class(Vec<char>),
+    Literal(char),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => break,
+            '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let start = pending.take().unwrap();
+                let end = chars.next().unwrap();
+                for code in start as u32..=end as u32 {
+                    if let Some(ch) = char::from_u32(code) {
+                        set.push(ch);
+                    }
+                }
+            }
+            c => {
+                if let Some(p) = pending.take() {
+                    set.push(p);
+                }
+                pending = Some(c);
+            }
+        }
+    }
+    if let Some(p) = pending {
+        set.push(p);
+    }
+    assert!(!set.is_empty(), "empty character class in pattern");
+    set
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((lo, hi)) => (
+            lo.trim().parse().expect("bad repetition lower bound"),
+            hi.trim().parse().expect("bad repetition upper bound"),
+        ),
+        None => {
+            let n = spec.trim().parse().expect("bad repetition count");
+            (n, n)
+        }
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let elem = match c {
+            '[' => PatElem::Class(parse_class(&mut chars)),
+            '\\' => PatElem::Literal(chars.next().expect("dangling escape in pattern")),
+            c => PatElem::Literal(c),
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..count {
+            match &elem {
+                PatElem::Class(set) => {
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+                PatElem::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_rng;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_length() {
+        let mut rng = test_rng("pattern");
+        for _ in 0..200 {
+            let s = "[a-z/]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '/'));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_options() {
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = test_rng("oneof");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn flat_map_threads_intermediate_value() {
+        let s = (2usize..5).prop_flat_map(|n| crate::collection::vec(0u64..10, n));
+        let mut rng = test_rng("flat_map");
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+}

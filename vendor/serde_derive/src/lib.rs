@@ -1,0 +1,441 @@
+//! Minimal, dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! implementations for the vendored `serde` facade.
+//!
+//! The container is offline, so the real `serde_derive` (and its `syn`/`quote`
+//! dependency tree) is unavailable. This hand-rolled macro supports exactly
+//! the shapes this workspace uses:
+//!
+//! - non-generic structs with named fields,
+//! - tuple structs (newtypes serialize transparently, like real serde),
+//! - non-generic enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, like real serde's default),
+//! - the `#[serde(transparent)]` container attribute.
+//!
+//! Anything else (generics, lifetimes, other `#[serde(...)]` attributes)
+//! produces a `compile_error!` so misuse is loud rather than silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a container's fields.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed derive input.
+enum Item {
+    Struct { name: String, fields: Fields, transparent: bool },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Inspects one attribute bracket group. Returns `Ok(true)` for
+/// `#[serde(transparent)]`, `Ok(false)` for non-serde attributes (doc
+/// comments, `cfg`, …), and an error for any other `#[serde(...)]` so that
+/// unsupported serde attributes fail loudly instead of being silently
+/// ignored.
+fn check_attr(group: &proc_macro::Group) -> Result<bool, String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(inner)] if name.to_string() == "serde" => {
+            let args: Vec<String> = inner.stream().into_iter().map(|t| t.to_string()).collect();
+            if args.len() == 1 && args[0] == "transparent" {
+                Ok(true)
+            } else {
+                Err(format!(
+                    "#[serde({})] is not supported by the vendored serde derive (only `transparent`)",
+                    args.join("")
+                ))
+            }
+        }
+        [TokenTree::Ident(name)] if name.to_string() == "serde" => {
+            Err("bare #[serde] attribute is not supported by the vendored serde derive".into())
+        }
+        _ => Ok(false),
+    }
+}
+
+fn validate(item: Item) -> Result<Item, String> {
+    if let Item::Struct { name, fields, transparent: true } = &item {
+        if !matches!(fields, Fields::Tuple(1)) {
+            return Err(format!(
+                "#[serde(transparent)] on `{name}` requires exactly one unnamed field in this vendored serde"
+            ));
+        }
+    }
+    Ok(item)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Leading attributes (doc comments, #[serde(...)], cfg_attr leftovers).
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    if check_attr(g)? {
+                        transparent = true;
+                    }
+                    i += 2;
+                } else {
+                    return Err("unsupported attribute syntax".into());
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected container name, found `{other}`")),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic container `{name}` is not supported by the vendored serde derive"));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                Some(other) => return Err(format!("unsupported struct body: `{other}`")),
+            };
+            validate(Item::Struct { name, fields, transparent })
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err("expected enum body".into()),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Splits a token stream on commas that sit outside `<...>` generic argument
+/// lists (groups already hide their own contents, but angle brackets are
+/// plain punctuation).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        out.last_mut().unwrap().push(tok);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_top_level(stream) {
+        let mut j = 0;
+        // Validate-and-skip field attributes and visibility.
+        loop {
+            match field.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = field.get(j + 1) {
+                        check_attr(g)?;
+                    }
+                    j += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    j += 1;
+                    if matches!(field.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        j += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        match field.get(j) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found `{other:?}`")),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    for var in split_top_level(stream) {
+        let mut j = 0;
+        while matches!(var.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = var.get(j + 1) {
+                check_attr(g)?;
+            }
+            j += 2; // attribute: `#` + bracket group
+        }
+        let name = match var.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other:?}`")),
+        };
+        j += 1;
+        let fields = match var.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!("explicit discriminants are not supported (variant `{name}`)"))
+            }
+            Some(other) => return Err(format!("unsupported variant body: `{other}`")),
+        };
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields, .. } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                // Newtypes (and #[serde(transparent)]) serialize as the inner
+                // value, matching real serde's default for newtype structs.
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+                }
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (v, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(String::from({v:?}))"
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::variant({v:?}, ::serde::Serialize::to_value(__f0))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::variant({v:?}, ::serde::Value::Array(vec![{}]))",
+                            binds.join(", "),
+                            elems.join(", ")
+                        )
+                    }
+                    Fields::Named(names) => {
+                        let binds = names.join(", ");
+                        let pairs: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!("(String::from({f:?}), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::variant({v:?}, ::serde::Value::Object(vec![{}]))",
+                            pairs.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields, .. } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                        .collect();
+                    format!(
+                        "let __arr = ::serde::expect_array(__v, {n})?;\n\
+                         Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::expect_field(__obj, {f:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __obj = ::serde::expect_object(__v)?;\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push(format!("{v:?} => Ok({name}::{v})"));
+                    }
+                    Fields::Tuple(1) => data_arms.push(format!(
+                        "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?))"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "{v:?} => {{\n\
+                                 let __arr = ::serde::expect_array(__inner, {n})?;\n\
+                                 Ok({name}::{v}({}))\n\
+                             }}",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let inits: Vec<String> = names
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::expect_field(__obj, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "{v:?} => {{\n\
+                                 let __obj = ::serde::expect_object(__inner)?;\n\
+                                 Ok({name}::{v} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            unit_arms.push(format!(
+                "__other => Err(::serde::DeError::unknown_variant({name:?}, __other))"
+            ));
+            data_arms.push(format!(
+                "__other => Err(::serde::DeError::unknown_variant({name:?}, __other))"
+            ));
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{ {unit} }},\n\
+                             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__pairs[0];\n\
+                                 match __tag.as_str() {{ {data} }}\n\
+                             }}\n\
+                             __other => Err(::serde::DeError::expected(\"externally tagged enum\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join(",\n"),
+                data = data_arms.join(",\n")
+            )
+        }
+    }
+}
