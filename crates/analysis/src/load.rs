@@ -50,6 +50,33 @@ pub fn node_loads(dag: &Dag, window: Nanos) -> Vec<NodeLoad> {
     out
 }
 
+/// Mean per-node processor loads across the per-run models of a multi-run
+/// experiment, sorted descending.
+///
+/// Each run observed the same window; a run in which a node does not
+/// appear contributes zero load for it (the node was idle, not absent from
+/// the machine). This is the multi-run generalization of [`node_loads`]
+/// used by the experiment harness: feed it the per-run DAGs a run fan-out
+/// collected and the per-run observation window.
+pub fn node_loads_across_runs(dags: &[Dag], window: Nanos) -> Vec<NodeLoad> {
+    if dags.is_empty() {
+        return Vec::new();
+    }
+    let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for dag in dags {
+        for nl in node_loads(dag, window) {
+            *sums.entry(nl.node).or_insert(0.0) += nl.load;
+        }
+    }
+    let runs = dags.len() as f64;
+    let mut out: Vec<NodeLoad> = sums
+        .into_iter()
+        .map(|(node, sum)| NodeLoad { node, load: sum / runs })
+        .collect();
+    out.sort_by(|a, b| b.load.total_cmp(&a.load).then_with(|| a.node.cmp(&b.node)));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,6 +118,17 @@ mod tests {
         assert_eq!(loads.len(), 1);
         assert_eq!(loads[0].node, "n");
         assert!((loads[0].load - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_run_loads_average_and_default_to_zero() {
+        // Run 1 observes 50 ms of work, run 2 has the node idle (absent):
+        // the mean load over both runs is 2.5%.
+        let runs = [dag_one_cb(&[10; 5]), Dag::new()];
+        let loads = node_loads_across_runs(&runs, Nanos::from_secs(1));
+        assert_eq!(loads.len(), 1);
+        assert!((loads[0].load - 0.025).abs() < 1e-9);
+        assert!(node_loads_across_runs(&[], Nanos::from_secs(1)).is_empty());
     }
 
     #[test]

@@ -3,25 +3,43 @@
 //! (ii) synthesize a DAG per trace, then merge the DAGs (the paper's
 //! choice). Both must agree on structure and on the pooled statistics.
 //!
-//! Usage: `cargo run -p rtms-bench --bin ablation_merge [runs=5] [secs=20] [seed=0]`
+//! Usage: `cargo run -p rtms-bench --bin ablation_merge -- [runs=5]
+//! [secs=20] [seed=0] [threads=N] [format=text|json]`
 
-use rtms_bench::{arg_u64, avp_vertex_key, parse_args, structure_summary};
+use rtms_bench::{avp_vertex_key, structure_summary, Defaults, ExperimentArgs, Harness};
 use rtms_core::{merge_dags, node_name_map, synthesize, synthesize_with_names};
 use rtms_trace::{Nanos, Trace};
 use rtms_workloads::case_study_world;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    runs: usize,
+    secs: u64,
+    seed: u64,
+    dag_per_run_structure: String,
+    merged_trace_structure: String,
+    segment_dags_structure: String,
+    cb6_stats_option_i: String,
+    cb6_stats_option_ii: String,
+    options_agree_on_structure: bool,
+}
 
 fn main() {
-    let args = parse_args();
-    let runs = arg_u64(&args, "runs", 5) as usize;
-    let secs = arg_u64(&args, "secs", 20);
-    let seed = arg_u64(&args, "seed", 0);
+    let args = ExperimentArgs::parse_or_exit(
+        "ablation_merge [runs=5] [secs=20] [seed=0] [threads=N] [format=text|json]",
+        Defaults { runs: 5, secs: 20, seed: 0 },
+        &[],
+    );
+    let secs = args.secs();
 
-    eprintln!("simulating {runs} runs x {secs}s ...");
-    let mut traces: Vec<Trace> = Vec::new();
-    for i in 0..runs {
-        let mut world = case_study_world(seed + i as u64, 1.0);
-        traces.push(world.trace_run(Nanos::from_secs(secs)));
-    }
+    eprintln!(
+        "simulating {} runs x {secs}s on {} threads ...",
+        args.runs(),
+        args.threads()
+    );
+    let traces =
+        Harness::from_args(&args).traces(|plan| case_study_world(plan.seed, 1.0));
 
     // Option (ii): DAG per trace, merge DAGs.
     let dag_per_run = merge_dags(traces.iter().map(synthesize));
@@ -32,7 +50,7 @@ fn main() {
     // so option (i) is only sound for *segments of the same run* — the
     // paper's option (iii) merges per-run traces first for that reason.
     // We therefore demonstrate option (i) on the segments of ONE run.
-    let mut world = case_study_world(seed + 999, 1.0);
+    let mut world = case_study_world(args.seed() + 999, 1.0);
     world.announce_nodes();
     world.start_runtime_tracers();
     let mut seg_traces = Vec::new();
@@ -52,15 +70,6 @@ fn main() {
     let from_segments =
         merge_dags(seg_traces.iter().map(|t| synthesize_with_names(t, &names)));
 
-    println!("Option (ii) DAG-per-run, merged over {runs} runs:");
-    println!("  {}", structure_summary(&dag_per_run));
-    println!();
-    println!("Option (i) merge-traces-then-synthesize (4 segments of one run):");
-    println!("  {}", structure_summary(&from_merged_trace));
-    println!("Option (ii) on the same segments:");
-    println!("  {}", structure_summary(&from_segments));
-    println!();
-
     // Compare statistics for cb6 between the two options on one run.
     let key = avp_vertex_key(&from_merged_trace, "cb6").expect("cb6");
     let a = from_merged_trace
@@ -73,11 +82,35 @@ fn main() {
         .iter()
         .find(|v| v.merge_key() == key)
         .expect("cb6 (ii)");
-    println!("cb6, option (i):  {}", a.stats);
-    println!("cb6, option (ii): {}", b.stats);
-    println!(
-        "options agree on structure: {}",
-        from_merged_trace.vertices().len() == from_segments.vertices().len()
-            && from_merged_trace.edges().len() == from_segments.edges().len()
-    );
+
+    let report = Report {
+        runs: args.runs(),
+        secs,
+        seed: args.seed(),
+        dag_per_run_structure: structure_summary(&dag_per_run),
+        merged_trace_structure: structure_summary(&from_merged_trace),
+        segment_dags_structure: structure_summary(&from_segments),
+        cb6_stats_option_i: a.stats.to_string(),
+        cb6_stats_option_ii: b.stats.to_string(),
+        options_agree_on_structure: from_merged_trace.vertices().len()
+            == from_segments.vertices().len()
+            && from_merged_trace.edges().len() == from_segments.edges().len(),
+    };
+
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+
+    println!("Option (ii) DAG-per-run, merged over {} runs:", report.runs);
+    println!("  {}", report.dag_per_run_structure);
+    println!();
+    println!("Option (i) merge-traces-then-synthesize (4 segments of one run):");
+    println!("  {}", report.merged_trace_structure);
+    println!("Option (ii) on the same segments:");
+    println!("  {}", report.segment_dags_structure);
+    println!();
+    println!("cb6, option (i):  {}", report.cb6_stats_option_i);
+    println!("cb6, option (ii): {}", report.cb6_stats_option_ii);
+    println!("options agree on structure: {}", report.options_agree_on_structure);
 }

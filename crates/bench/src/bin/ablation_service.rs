@@ -3,37 +3,73 @@
 //! single-vertex service model, which manufactures spurious cross-caller
 //! chains like `SC3 -> SV3 -> CL4`.
 //!
-//! Usage: `cargo run -p rtms-bench --bin ablation_service [secs=5] [seed=7]`
+//! Usage: `cargo run -p rtms-bench --bin ablation_service -- [secs=5]
+//! [seed=7] [format=text|json]`
 
 use rtms_analysis::{enumerate_chains, spurious_chain_report};
-use rtms_bench::{arg_u64, parse_args};
+use rtms_bench::{Defaults, ExperimentArgs};
 use rtms_core::synthesize;
 use rtms_ros2::WorldBuilder;
-use rtms_trace::Nanos;
 use rtms_workloads::syn_app;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    secs: u64,
+    seed: u64,
+    split_chains: usize,
+    single_vertex_chains: usize,
+    spurious_chains: usize,
+    chains: Vec<String>,
+}
 
 fn main() {
-    let args = parse_args();
-    let secs = arg_u64(&args, "secs", 5);
-    let seed = arg_u64(&args, "seed", 7);
+    let args = ExperimentArgs::parse_or_exit(
+        "ablation_service [secs=5] [seed=7] [format=text|json]",
+        Defaults::single_run(5, 7),
+        &[],
+    );
 
     let mut world = WorldBuilder::new(4)
-        .seed(seed)
+        .seed(args.seed())
         .app(syn_app(1.0))
         .build()
         .expect("SYN world");
-    let trace = world.trace_run(Nanos::from_secs(secs));
+    let trace = world.trace_run(args.duration());
     let dag = synthesize(&trace);
 
-    let report = spurious_chain_report(&dag);
-    println!("Service-model ablation on SYN ({secs}s run)");
+    let chain_report = spurious_chain_report(&dag);
+    let report = Report {
+        secs: args.secs(),
+        seed: args.seed(),
+        split_chains: chain_report.split_chains,
+        single_vertex_chains: chain_report.single_vertex_chains,
+        spurious_chains: chain_report.spurious(),
+        chains: enumerate_chains(&dag).iter().map(|c| c.describe(&dag)).collect(),
+    };
+
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+
+    println!("Service-model ablation on SYN ({}s run)", report.secs);
     println!();
-    println!("chains with per-caller service vertices (paper's model): {}", report.split_chains);
-    println!("chains with single-vertex services (naive model):        {}", report.single_vertex_chains);
-    println!("spurious cross-caller chains:                            {}", report.spurious());
+    println!(
+        "chains with per-caller service vertices (paper's model): {}",
+        report.split_chains
+    );
+    println!(
+        "chains with single-vertex services (naive model):        {}",
+        report.single_vertex_chains
+    );
+    println!(
+        "spurious cross-caller chains:                            {}",
+        report.spurious_chains
+    );
     println!();
     println!("chains of the correct model:");
-    for chain in enumerate_chains(&dag) {
-        println!("  {}", chain.describe(&dag));
+    for chain in &report.chains {
+        println!("  {chain}");
     }
 }

@@ -1,55 +1,85 @@
 //! Regenerates Fig. 3a: the synthesized DAG of the SYN application,
 //! verifying the five scenarios of Sec. VI.
 //!
-//! Usage: `cargo run -p rtms-bench --bin fig3a [secs=5] [seed=7]`
+//! Usage: `cargo run -p rtms-bench --bin fig3a -- [secs=5] [seed=7]
+//! [format=text|json]`
 
-use rtms_bench::{arg_u64, parse_args, structure_summary};
+use rtms_bench::{Defaults, ExperimentArgs, structure_summary};
 use rtms_core::{synthesize, VertexKind};
 use rtms_ros2::WorldBuilder;
-use rtms_trace::{CallbackKind, Nanos};
+use rtms_trace::CallbackKind;
 use rtms_workloads::syn_app;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    secs: u64,
+    seed: u64,
+    structure: String,
+    clp3_or_subscribers: usize,
+    sv3_entries: usize,
+    and_junctions: usize,
+    dot: String,
+}
 
 fn main() {
-    let args = parse_args();
-    let secs = arg_u64(&args, "secs", 5);
-    let seed = arg_u64(&args, "seed", 7);
+    let args = ExperimentArgs::parse_or_exit(
+        "fig3a [secs=5] [seed=7] [format=text|json]",
+        Defaults::single_run(5, 7),
+        &[],
+    );
 
     let mut world = WorldBuilder::new(4)
-        .seed(seed)
+        .seed(args.seed())
         .app(syn_app(1.0))
         .build()
         .expect("SYN world");
-    let trace = world.trace_run(Nanos::from_secs(secs));
+    let trace = world.trace_run(args.duration());
     let dag = synthesize(&trace);
 
-    println!("Fig. 3a — SYN application timing model ({secs}s run, seed {seed})");
-    println!("{}", structure_summary(&dag));
+    let report = Report {
+        secs: args.secs(),
+        seed: args.seed(),
+        structure: structure_summary(&dag),
+        clp3_or_subscribers: dag
+            .vertices()
+            .iter()
+            .filter(|v| v.in_topic.as_deref() == Some("/clp3") && v.or_junction)
+            .count(),
+        sv3_entries: dag
+            .vertices()
+            .iter()
+            .filter(|v| {
+                v.node == "syn_mixed" && v.kind == VertexKind::Callback(CallbackKind::Service)
+            })
+            .count(),
+        and_junctions: dag
+            .vertices()
+            .iter()
+            .filter(|v| v.kind == VertexKind::AndJunction)
+            .count(),
+        dot: dag.to_dot(),
+    };
+
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+
+    println!(
+        "Fig. 3a — SYN application timing model ({}s run, seed {})",
+        report.secs, report.seed
+    );
+    println!("{}", report.structure);
     println!();
 
     // Scenario checks of Sec. VI.
-    let sv3_entries = dag
-        .vertices()
-        .iter()
-        .filter(|v| {
-            v.node == "syn_mixed" && v.kind == VertexKind::Callback(CallbackKind::Service)
-        })
-        .count();
     println!("(i)   same-type callbacks per node identified: T2/T3, SV1/SV2, CL2/CL4");
     println!("(ii)  mixed node syn_mixed: timer + subscriber + service present");
-    let clp3_or = dag
-        .vertices()
-        .iter()
-        .filter(|v| v.in_topic.as_deref() == Some("/clp3") && v.or_junction)
-        .count();
-    println!("(iii) /clp3 subscribers with OR junction: {clp3_or} (expect 2)");
-    println!("(iv)  SV3 vertices (one per caller):      {sv3_entries} (expect 2)");
-    let junctions = dag
-        .vertices()
-        .iter()
-        .filter(|v| v.kind == VertexKind::AndJunction)
-        .count();
-    println!("(v)   AND junctions for /f1+/f2 sync:     {junctions} (expect 1)");
+    println!("(iii) /clp3 subscribers with OR junction: {} (expect 2)", report.clp3_or_subscribers);
+    println!("(iv)  SV3 vertices (one per caller):      {} (expect 2)", report.sv3_entries);
+    println!("(v)   AND junctions for /f1+/f2 sync:     {} (expect 1)", report.and_junctions);
     println!();
     println!("DOT:");
-    println!("{}", dag.to_dot());
+    println!("{}", report.dot);
 }

@@ -1,57 +1,107 @@
 //! Regenerates Fig. 3b: the synthesized DAG of AVP localization.
 //!
-//! Usage: `cargo run -p rtms-bench --bin fig3b [secs=80] [seed=1]`
+//! Usage: `cargo run -p rtms-bench --bin fig3b -- [secs=80] [seed=1]
+//! [format=text|json]`
 
-use rtms_bench::{arg_u64, parse_args, structure_summary};
+use rtms_bench::{Defaults, ExperimentArgs, structure_summary};
 use rtms_core::{synthesize, VertexKind};
 use rtms_ros2::WorldBuilder;
-use rtms_trace::Nanos;
 use rtms_workloads::avp_localization_app;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Vertex {
+    node: String,
+    kind: String,
+    stats: String,
+    successors: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    secs: u64,
+    seed: u64,
+    structure: String,
+    vertices: Vec<Vertex>,
+    fusion_junction_present: bool,
+    dot: String,
+}
 
 fn main() {
-    let args = parse_args();
-    let secs = arg_u64(&args, "secs", 80);
-    let seed = arg_u64(&args, "seed", 1);
+    let args = ExperimentArgs::parse_or_exit(
+        "fig3b [secs=80] [seed=1] [format=text|json]",
+        Defaults::single_run(80, 1),
+        &[],
+    );
 
     let mut world = WorldBuilder::new(12)
-        .seed(seed)
+        .seed(args.seed())
         .app(avp_localization_app())
         .build()
         .expect("AVP world");
-    let trace = world.trace_run(Nanos::from_secs(secs));
+    let trace = world.trace_run(args.duration());
     let dag = synthesize(&trace);
 
-    println!("Fig. 3b — AVP localization timing model ({secs}s run, seed {seed})");
-    println!("{}", structure_summary(&dag));
+    let report = Report {
+        secs: args.secs(),
+        seed: args.seed(),
+        structure: structure_summary(&dag),
+        vertices: dag
+            .vertex_ids()
+            .map(|v| {
+                let vert = dag.vertex(v);
+                Vertex {
+                    node: vert.node.clone(),
+                    kind: vert.kind.to_string(),
+                    stats: vert.stats.to_string(),
+                    successors: dag
+                        .successors(v)
+                        .into_iter()
+                        .map(|s| format!("{}({})", dag.vertex(s).node, dag.vertex(s).kind))
+                        .collect(),
+                }
+            })
+            .collect(),
+        fusion_junction_present: dag
+            .vertex_ids()
+            .any(|v| dag.vertex(v).kind == VertexKind::AndJunction),
+        dot: dag.to_dot(),
+    };
+
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+
+    println!(
+        "Fig. 3b — AVP localization timing model ({}s run, seed {})",
+        report.secs, report.seed
+    );
+    println!("{}", report.structure);
     println!("(The two 10 Hz LIDAR driver timers stand in for the sensors; the");
     println!(" paper's figure shows only the six localization callbacks.)");
     println!();
 
     // Print the chain structure.
-    for v in dag.vertex_ids() {
-        let vert = dag.vertex(v);
-        let succ: Vec<String> = dag
-            .successors(v)
-            .into_iter()
-            .map(|s| format!("{}({})", dag.vertex(s).node, dag.vertex(s).kind))
-            .collect();
+    for v in &report.vertices {
         println!(
             "  {}({}) [{}] -> {}",
-            vert.node,
-            vert.kind,
-            vert.stats,
-            if succ.is_empty() { "(sink)".to_string() } else { succ.join(", ") }
+            v.node,
+            v.kind,
+            v.stats,
+            if v.successors.is_empty() {
+                "(sink)".to_string()
+            } else {
+                v.successors.join(", ")
+            }
         );
     }
     println!();
-    let junction = dag
-        .vertex_ids()
-        .find(|&v| dag.vertex(v).kind == VertexKind::AndJunction);
     println!(
         "fusion '&' junction present: {} (zero execution time, AND semantics)",
-        junction.is_some()
+        report.fusion_junction_present
     );
     println!();
     println!("DOT:");
-    println!("{}", dag.to_dot());
+    println!("{}", report.dot);
 }

@@ -2,54 +2,112 @@
 //! cb1 (filter_rear), cb2 (filter_front), cb5 (voxel_grid) and cb6
 //! (localizer) as DAGs from more runs are merged.
 //!
-//! Usage: `cargo run -p rtms-bench --bin fig4 [runs=50] [secs=80] [seed=7]`
+//! Usage: `cargo run -p rtms-bench --bin fig4 -- [runs=50] [secs=80]
+//! [seed=0] [threads=N] [format=text|json]`
 
-use rtms_bench::{arg_u64, avp_vertex_key, parse_args};
+use rtms_bench::{avp_vertex_key, Defaults, ExperimentArgs, Harness};
 use rtms_core::ConvergenceSeries;
-use rtms_trace::Nanos;
-use rtms_workloads::synthesize_runs;
+use rtms_workloads::{case_study_run_conditions, case_study_world_for_run};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    runs: usize,
+    mbcet_ms: f64,
+    macet_ms: f64,
+    mwcet_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Series {
+    cb: String,
+    label: String,
+    points: Vec<Point>,
+    mwcet_stabilizes_at_run: Option<usize>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    runs: usize,
+    secs: u64,
+    seed: u64,
+    series: Vec<Series>,
+}
 
 fn main() {
-    let args = parse_args();
-    let runs = arg_u64(&args, "runs", 50) as usize;
-    let secs = arg_u64(&args, "secs", 80);
-    let seed = arg_u64(&args, "seed", 7);
+    let args = ExperimentArgs::parse_or_exit(
+        "fig4 [runs=50] [secs=80] [seed=0] [threads=N] [format=text|json]",
+        Defaults { runs: 50, secs: 80, seed: 0 },
+        &[],
+    );
 
-    eprintln!("simulating {runs} runs x {secs}s of AVP + SYN ...");
-    let dags = synthesize_runs(runs, Nanos::from_secs(secs), seed);
+    eprintln!(
+        "simulating {} runs x {}s of AVP + SYN on {} threads ...",
+        args.runs(),
+        args.secs(),
+        args.threads()
+    );
+    let conditions = case_study_run_conditions(args.runs(), args.seed());
+    let dags = Harness::from_args(&args)
+        .dags(|plan| case_study_world_for_run(args.seed(), plan.index, conditions[plan.index]));
 
-    println!("Fig. 4: estimation of timing attributes improves with more traces");
-    println!("        ({runs} runs x {secs}s; values in ms)");
-    for (cb, label) in [
+    let series: Vec<Series> = [
         ("cb6", "localizer (cb6)"),
         ("cb2", "filter_front (cb2)"),
         ("cb1", "filter_rear (cb1)"),
         ("cb5", "voxel_grid (cb5)"),
-    ] {
+    ]
+    .into_iter()
+    .map(|(cb, label)| {
         let key = avp_vertex_key(&dags[0], cb).expect("vertex in first run");
-        let series = ConvergenceSeries::track(&key, &dags);
+        let tracked = ConvergenceSeries::track(&key, &dags);
+        Series {
+            cb: cb.to_string(),
+            label: label.to_string(),
+            points: tracked
+                .points
+                .iter()
+                .map(|&(run, b, a, w)| Point {
+                    runs: run,
+                    mbcet_ms: b.as_millis_f64(),
+                    macet_ms: a.as_millis_f64(),
+                    mwcet_ms: w.as_millis_f64(),
+                })
+                .collect(),
+            mwcet_stabilizes_at_run: tracked.mwcet_stabilizes_at(),
+        }
+    })
+    .collect();
+
+    let report = Report { runs: args.runs(), secs: args.secs(), seed: args.seed(), series };
+
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+
+    println!("Fig. 4: estimation of timing attributes improves with more traces");
+    println!("        ({} runs x {}s; values in ms)", report.runs, report.secs);
+    for s in &report.series {
         println!();
-        println!("--- {label} ---");
+        println!("--- {} ---", s.label);
         println!("{:>5}{:>12}{:>12}{:>12}", "runs", "mBCET", "mACET", "mWCET");
-        for (run, b, a, w) in &series.points {
+        for p in &s.points {
             println!(
                 "{:>5}{:>12.2}{:>12.2}{:>12.2}",
-                run,
-                b.as_millis_f64(),
-                a.as_millis_f64(),
-                w.as_millis_f64()
+                p.runs, p.mbcet_ms, p.macet_ms, p.mwcet_ms
             );
         }
-        match series.mwcet_stabilizes_at() {
+        match s.mwcet_stabilizes_at_run {
             Some(run) => {
-                let first = series.points.first().expect("points").3.as_millis_f64();
-                let last = series.points.last().expect("points").3.as_millis_f64();
+                let first = s.points.first().expect("points").mwcet_ms;
+                let last = s.points.last().expect("points").mwcet_ms;
                 println!(
                     "mWCET stabilizes after run {run} ({:.1}% above the run-1 estimate)",
                     (last - first) / first * 100.0
                 );
             }
-            None => println!("mWCET did not stabilize within {runs} runs"),
+            None => println!("mWCET did not stabilize within {} runs", report.runs),
         }
     }
 }

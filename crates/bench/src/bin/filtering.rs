@@ -4,12 +4,14 @@
 //! reduction of "an order of three or more" with busy co-located
 //! workloads.
 //!
-//! Usage: `cargo run -p rtms-bench --bin filtering [secs=30] [seed=0]`
+//! Usage: `cargo run -p rtms-bench --bin filtering -- [secs=30] [seed=0]
+//! [format=text|json]`
 
-use rtms_bench::{arg_u64, parse_args};
+use rtms_bench::{Defaults, ExperimentArgs};
 use rtms_ros2::WorldBuilder;
 use rtms_trace::Nanos;
 use rtms_workloads::{avp_localization_app, syn_app};
+use serde::Serialize;
 
 fn build(filtered: bool, seed: u64) -> rtms_ros2::Ros2World {
     let mut b = WorldBuilder::new(12)
@@ -27,30 +29,71 @@ fn build(filtered: bool, seed: u64) -> rtms_ros2::Ros2World {
     b.build().expect("world")
 }
 
+#[derive(Serialize)]
+struct Footprint {
+    events: usize,
+    bytes: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    secs: u64,
+    seed: u64,
+    unfiltered: Footprint,
+    filtered: Footprint,
+    event_reduction: f64,
+    byte_reduction: f64,
+}
+
 fn main() {
-    let args = parse_args();
-    let secs = arg_u64(&args, "secs", 30);
-    let seed = arg_u64(&args, "seed", 0);
+    let args = ExperimentArgs::parse_or_exit(
+        "filtering [secs=30] [seed=0] [format=text|json]",
+        Defaults::single_run(30, 0),
+        &[],
+    );
 
-    let mut unfiltered = build(false, seed);
-    let t_unf = unfiltered.trace_run(Nanos::from_secs(secs));
-    let mut filtered = build(true, seed);
-    let t_fil = filtered.trace_run(Nanos::from_secs(secs));
+    let footprint = |filtered: bool| {
+        let mut world = build(filtered, args.seed());
+        let trace = world.trace_run(args.duration());
+        Footprint {
+            events: trace.sched_events().len(),
+            bytes: trace.sched_events().iter().map(|e| e.encoded_size()).sum(),
+        }
+    };
+    let unfiltered = footprint(false);
+    let filtered = footprint(true);
 
-    let unf_events = t_unf.sched_events().len();
-    let fil_events = t_fil.sched_events().len();
-    let unf_bytes: usize = t_unf.sched_events().iter().map(|e| e.encoded_size()).sum();
-    let fil_bytes: usize = t_fil.sched_events().iter().map(|e| e.encoded_size()).sum();
+    let report = Report {
+        secs: args.secs(),
+        seed: args.seed(),
+        event_reduction: unfiltered.events as f64 / filtered.events.max(1) as f64,
+        byte_reduction: unfiltered.bytes as f64 / filtered.bytes.max(1) as f64,
+        unfiltered,
+        filtered,
+    };
 
-    println!("Kernel trace footprint over {secs}s (SYN + AVP + background load)");
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+
+    println!(
+        "Kernel trace footprint over {}s (SYN + AVP + background load)",
+        report.secs
+    );
     println!();
     println!("{:<22}{:>14}{:>14}", "", "events", "bytes");
-    println!("{:<22}{:>14}{:>14}", "unfiltered", unf_events, unf_bytes);
-    println!("{:<22}{:>14}{:>14}", "PID-filtered", fil_events, fil_bytes);
+    println!(
+        "{:<22}{:>14}{:>14}",
+        "unfiltered", report.unfiltered.events, report.unfiltered.bytes
+    );
+    println!(
+        "{:<22}{:>14}{:>14}",
+        "PID-filtered", report.filtered.events, report.filtered.bytes
+    );
     println!();
     println!(
         "reduction: {:.1}x events, {:.1}x bytes   (paper: 3x or more)",
-        unf_events as f64 / fil_events.max(1) as f64,
-        unf_bytes as f64 / fil_bytes.max(1) as f64
+        report.event_reduction, report.byte_reduction
     );
 }

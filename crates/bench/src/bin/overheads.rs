@@ -3,47 +3,102 @@
 //! volume (paper: 9 MB) and (ii) the probes' CPU usage (paper: 0.008 cores
 //! on average, 0.3 % of the applications' computational load).
 //!
-//! Usage: `cargo run -p rtms-bench --bin overheads [secs=60] [seed=0]`
+//! Usage: `cargo run -p rtms-bench --bin overheads -- [secs=60] [seed=0]
+//! [format=text|json]`
 
-use rtms_bench::{arg_u64, parse_args};
-use rtms_trace::Nanos;
+use rtms_bench::{Defaults, ExperimentArgs};
 use rtms_workloads::case_study_world;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ProbeRow {
+    probe: String,
+    run_cnt: u64,
+    run_time_ns: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    secs: u64,
+    seed: u64,
+    trace_volume_bytes: usize,
+    ros_events: usize,
+    sched_events_exported: u64,
+    sched_events_seen: u64,
+    probe_avg_cores: f64,
+    probe_frac_of_app_load: f64,
+    probe_total_firings: u64,
+    probe_total_time_ns: u64,
+    per_probe: Vec<ProbeRow>,
+}
 
 fn main() {
-    let args = parse_args();
-    let secs = arg_u64(&args, "secs", 60);
-    let seed = arg_u64(&args, "seed", 0);
+    let args = ExperimentArgs::parse_or_exit(
+        "overheads [secs=60] [seed=0] [format=text|json]",
+        Defaults::single_run(60, 0),
+        &[],
+    );
 
-    let mut world = case_study_world(seed, 1.0);
-    let trace = world.trace_run(Nanos::from_secs(secs));
+    let mut world = case_study_world(args.seed(), 1.0);
+    let trace = world.trace_run(args.duration());
 
     let volume = world.trace_volume_bytes();
-    let report = world.overhead_report();
+    let ohr = world.overhead_report();
     let (seen, exported) = world.kernel_filter_stats();
 
-    println!("Tracing overheads over {secs}s of SYN + AVP localization");
+    let report = Report {
+        secs: args.secs(),
+        seed: args.seed(),
+        trace_volume_bytes: volume,
+        ros_events: trace.ros_events().len(),
+        sched_events_exported: exported,
+        sched_events_seen: seen,
+        probe_avg_cores: ohr.avg_cores,
+        probe_frac_of_app_load: ohr.frac_of_app_load,
+        probe_total_firings: ohr.total_firings,
+        probe_total_time_ns: ohr.total_time.as_nanos(),
+        per_probe: ohr
+            .per_probe
+            .iter()
+            .map(|(probe, (count, time))| ProbeRow {
+                probe: probe.to_string(),
+                run_cnt: *count,
+                run_time_ns: time.as_nanos(),
+            })
+            .collect(),
+    };
+
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+
+    println!("Tracing overheads over {}s of SYN + AVP localization", report.secs);
     println!();
     println!(
         "trace volume:        {:.1} MB   (paper: ~9 MB per 60 s)",
-        volume as f64 / 1e6
+        report.trace_volume_bytes as f64 / 1e6
     );
-    println!("  ros events:        {}", trace.ros_events().len());
-    println!("  sched events:      {} exported of {} seen", exported, seen);
+    println!("  ros events:        {}", report.ros_events);
+    println!(
+        "  sched events:      {} exported of {} seen",
+        report.sched_events_exported, report.sched_events_seen
+    );
     println!();
     println!(
         "probe CPU usage:     {:.4} cores on average   (paper: 0.008 cores)",
-        report.avg_cores
+        report.probe_avg_cores
     );
     println!(
         "  as fraction of app load: {:.2}%   (paper: 0.3%)",
-        report.frac_of_app_load * 100.0
+        report.probe_frac_of_app_load * 100.0
     );
-    println!("  total probe firings:     {}", report.total_firings);
-    println!("  total probe runtime:     {}", report.total_time);
+    println!("  total probe firings:     {}", report.probe_total_firings);
+    println!("  total probe runtime:     {} ns", report.probe_total_time_ns);
     println!();
     println!("per-probe accounting (bpftool-style):");
     println!("{:>14}{:>12}{:>16}", "probe", "run_cnt", "run_time_ns");
-    for (probe, (count, time)) in &report.per_probe {
-        println!("{:>14}{:>12}{:>16}", probe.to_string(), count, time.as_nanos());
+    for row in &report.per_probe {
+        println!("{:>14}{:>12}{:>16}", row.probe, row.run_cnt, row.run_time_ns);
     }
 }

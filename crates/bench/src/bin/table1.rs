@@ -1,8 +1,42 @@
 //! Regenerates Table I: the probe catalog.
+//!
+//! Usage: `cargo run -p rtms-bench --bin table1 -- [format=text|json]`
 
+use rtms_bench::{Defaults, ExperimentArgs};
 use rtms_trace::PROBE_CATALOG;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    probe: String,
+    library: String,
+    function: String,
+    attachment: String,
+    purpose: String,
+}
 
 fn main() {
+    let args = ExperimentArgs::parse_or_exit(
+        "table1 [format=text|json]",
+        Defaults::single_run(0, 0),
+        &[],
+    );
+
+    if args.json() {
+        let rows: Vec<Row> = PROBE_CATALOG
+            .iter()
+            .map(|spec| Row {
+                probe: spec.probe.to_string(),
+                library: spec.library.to_string(),
+                function: spec.function.to_string(),
+                attachment: spec.attachment.to_string(),
+                purpose: spec.purpose.to_string(),
+            })
+            .collect();
+        println!("{}", serde_json::to_string(&rows).expect("rows serialize"));
+        return;
+    }
+
     println!("Table I: Inserted probes in ROS2 Foxy");
     println!("{:<14}{:<22}{:<28}{:<11}Purpose", "No.", "ROS2 lib", "Function", "Attach");
     for spec in PROBE_CATALOG {

@@ -2,60 +2,126 @@
 //! the six AVP localization callbacks over repeated runs of AVP + SYN,
 //! merged per the deployment flow of Fig. 2 (DAG per run, then merge).
 //!
-//! Usage: `cargo run -p rtms-bench --bin table2 [runs=50] [secs=80] [seed=0]`
-//! (The paper uses 50 runs of 80 s; scale down for a quick look.)
+//! Usage: `cargo run -p rtms-bench --bin table2 -- [runs=50] [secs=80]
+//! [seed=0] [threads=N] [format=text|json]`
+//! (The paper uses 50 runs of 80 s; scale down for a quick look. Runs fan
+//! out across threads; output is identical for any `threads` value.)
 
-use rtms_bench::{arg_u64, avp_vertex_key, parse_args};
-use rtms_core::merge_dags;
+use rtms_bench::{Defaults, ExperimentArgs, Harness};
 use rtms_trace::Nanos;
-use rtms_workloads::{synthesize_runs, AVP_CALLBACKS};
+use rtms_workloads::{case_study_run_conditions, case_study_world_for_run, AVP_CALLBACKS};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    cb: String,
+    node: String,
+    mbcet_ms: Option<f64>,
+    macet_ms: Option<f64>,
+    mwcet_ms: Option<f64>,
+    samples: u64,
+    paper_mbcet_ms: f64,
+    paper_macet_ms: f64,
+    paper_mwcet_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    runs: usize,
+    secs: u64,
+    seed: u64,
+    rows: Vec<Row>,
+    cb2_load_pct_at_10hz: f64,
+}
 
 fn main() {
-    let args = parse_args();
-    let runs = arg_u64(&args, "runs", 50) as usize;
-    let secs = arg_u64(&args, "secs", 80);
-    let seed = arg_u64(&args, "seed", 0);
+    let args = ExperimentArgs::parse_or_exit(
+        "table2 [runs=50] [secs=80] [seed=0] [threads=N] [format=text|json]",
+        Defaults { runs: 50, secs: 80, seed: 0 },
+        &[],
+    );
 
-    eprintln!("simulating {runs} runs x {secs}s of AVP + SYN ...");
-    let dags = synthesize_runs(runs, Nanos::from_secs(secs), seed);
-    let merged = merge_dags(dags);
+    eprintln!(
+        "simulating {} runs x {}s of AVP + SYN on {} threads ...",
+        args.runs(),
+        args.secs(),
+        args.threads()
+    );
+    let conditions = case_study_run_conditions(args.runs(), args.seed());
+    let merged = Harness::from_args(&args)
+        .merged(|plan| case_study_world_for_run(args.seed(), plan.index, conditions[plan.index]));
+
+    let ms = |x: Option<Nanos>| x.map(|n| n.as_millis_f64());
+    let rows: Vec<Row> = AVP_CALLBACKS
+        .iter()
+        .map(|&(cb, node, p_bcet, p_acet, p_wcet)| {
+            let key = rtms_bench::avp_vertex_key(&merged, cb).expect("vertex present");
+            let v = merged
+                .vertices()
+                .iter()
+                .find(|v| v.merge_key() == key)
+                .expect("vertex by key");
+            Row {
+                cb: cb.to_string(),
+                node: node.to_string(),
+                mbcet_ms: ms(v.stats.mbcet()),
+                macet_ms: ms(v.stats.macet()),
+                mwcet_ms: ms(v.stats.mwcet()),
+                samples: v.stats.count(),
+                paper_mbcet_ms: p_bcet,
+                paper_macet_ms: p_acet,
+                paper_mwcet_ms: p_wcet,
+            }
+        })
+        .collect();
+    // cb2 at 10 Hz: average execution time over a 100 ms period.
+    let cb2_load = rows
+        .iter()
+        .find(|r| r.cb == "cb2")
+        .and_then(|r| r.macet_ms)
+        .map(|a| a / 100.0 * 100.0)
+        .unwrap_or(0.0);
+
+    let report = Report {
+        runs: args.runs(),
+        secs: args.secs(),
+        seed: args.seed(),
+        rows,
+        cb2_load_pct_at_10hz: cb2_load,
+    };
+
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
 
     println!("Table II: execution times (in ms) of callbacks in AVP localization");
-    println!("          ({runs} runs x {secs}s; paper values in parentheses)");
+    println!(
+        "          ({} runs x {}s; paper values in parentheses)",
+        report.runs, report.secs
+    );
     println!(
         "{:<6}{:<30}{:>18}{:>18}{:>18}{:>8}",
         "CB", "Node", "mBCET", "mACET", "mWCET", "n"
     );
-    for (cb, node, p_bcet, p_acet, p_wcet) in AVP_CALLBACKS {
-        let key = avp_vertex_key(&merged, cb).expect("vertex present");
-        let v = merged
-            .vertices()
-            .iter()
-            .find(|v| v.merge_key() == key)
-            .expect("vertex by key");
-        let fmt = |x: Option<Nanos>, paper: f64| match x {
-            Some(n) => format!("{:>7.2} ({:>6.2})", n.as_millis_f64(), paper),
-            None => format!("{:>7} ({:>6.2})", "-", paper),
+    for r in &report.rows {
+        let fmt = |x: Option<f64>, paper: f64| match x {
+            Some(v) => format!("{v:>7.2} ({paper:>6.2})"),
+            None => format!("{:>7} ({paper:>6.2})", "-"),
         };
         println!(
             "{:<6}{:<30}{:>18}{:>18}{:>18}{:>8}",
-            cb,
-            node,
-            fmt(v.stats.mbcet(), p_bcet),
-            fmt(v.stats.macet(), p_acet),
-            fmt(v.stats.mwcet(), p_wcet),
-            v.stats.count()
+            r.cb,
+            r.node,
+            fmt(r.mbcet_ms, r.paper_mbcet_ms),
+            fmt(r.macet_ms, r.paper_macet_ms),
+            fmt(r.mwcet_ms, r.paper_mwcet_ms),
+            r.samples
         );
     }
     println!();
     println!(
         "cb2 average processor load at 10 Hz: {:.1}% (paper: 27%)",
-        merged
-            .vertices()
-            .iter()
-            .find(|v| v.merge_key() == avp_vertex_key(&merged, "cb2").expect("cb2"))
-            .and_then(|v| v.stats.macet())
-            .map(|a| a.as_millis_f64() / 100.0 * 100.0)
-            .unwrap_or(0.0)
+        report.cb2_load_pct_at_10hz
     );
 }

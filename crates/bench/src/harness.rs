@@ -1,0 +1,197 @@
+//! Parallel multi-run experiment orchestration.
+//!
+//! The paper's results are multi-run artifacts (50 runs × 80 s per table or
+//! figure), and each run is an independent simulation — so the harness fans
+//! the runs out across worker threads. The simulator itself is
+//! `Rc`/`RefCell`-based and not `Send`, which dictates the design: each
+//! worker thread builds its **own** [`Ros2World`] from a seeded [`RunPlan`]
+//! and only the plain-data [`Trace`]s / [`Dag`]s it produces cross thread
+//! boundaries.
+//!
+//! Determinism contract: run *i* always simulates with seed `base_seed + i`
+//! and results are collected **in run order**, so the same `seed` and
+//! `runs` produce identical traces — and an identical merged model —
+//! regardless of `threads`.
+//!
+//! # Example
+//!
+//! ```
+//! use rtms_bench::Harness;
+//! use rtms_ros2::WorldBuilder;
+//! use rtms_trace::Nanos;
+//! use rtms_workloads::syn_app;
+//!
+//! let harness = Harness::new(2, Nanos::from_secs(1), 7).threads(2);
+//! let merged = harness.merged(|plan| {
+//!     WorldBuilder::new(4).seed(plan.seed).app(syn_app(1.0)).build().expect("valid")
+//! });
+//! assert!(merged.is_acyclic());
+//! ```
+
+use crate::args::ExperimentArgs;
+use rtms_core::{merge_dags, synthesize, Dag};
+use rtms_ros2::Ros2World;
+use rtms_trace::{Nanos, Trace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The identity of one run within a multi-run experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPlan {
+    /// Zero-based run index.
+    pub index: usize,
+    /// The seed this run's world must be built with (`base_seed + index`).
+    pub seed: u64,
+}
+
+/// Fans N seeded simulation runs out across worker threads and collects
+/// their results in run order.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    runs: usize,
+    duration: Nanos,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl Harness {
+    /// A harness for `runs` runs of `duration` each, with run *i* seeded
+    /// `base_seed + i`. Uses all cores unless [`Harness::threads`] says
+    /// otherwise.
+    pub fn new(runs: usize, duration: Nanos, base_seed: u64) -> Harness {
+        Harness { runs, duration, base_seed, threads: crate::args::default_threads() }
+    }
+
+    /// A harness configured from parsed experiment arguments
+    /// (`runs`/`secs`/`seed`/`threads`).
+    pub fn from_args(args: &ExperimentArgs) -> Harness {
+        Harness::new(args.runs(), args.duration(), args.seed()).threads(args.threads())
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1; more threads
+    /// than runs are never spawned).
+    pub fn threads(mut self, threads: usize) -> Harness {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The per-run duration.
+    pub fn duration(&self) -> Nanos {
+        self.duration
+    }
+
+    /// The seeded plan of every run, in run order.
+    pub fn plans(&self) -> Vec<RunPlan> {
+        (0..self.runs)
+            .map(|index| RunPlan { index, seed: self.base_seed + index as u64 })
+            .collect()
+    }
+
+    /// Builds one world per run with `build`, traces each for the
+    /// configured duration, and returns the traces in run order.
+    pub fn traces<F>(&self, build: F) -> Vec<Trace>
+    where
+        F: Fn(&RunPlan) -> Ros2World + Sync,
+    {
+        self.for_each_run(|plan| build(plan).trace_run(self.duration))
+    }
+
+    /// Like [`Harness::traces`], but synthesizes each run's timing model in
+    /// the worker thread — the "DAG per run" half of the paper's deployment
+    /// option (ii).
+    pub fn dags<F>(&self, build: F) -> Vec<Dag>
+    where
+        F: Fn(&RunPlan) -> Ros2World + Sync,
+    {
+        self.for_each_run(|plan| synthesize(&build(plan).trace_run(self.duration)))
+    }
+
+    /// The full deployment option (ii) of Fig. 2: a DAG per run, merged in
+    /// run order. Byte-identical output for any `threads` setting.
+    pub fn merged<F>(&self, build: F) -> Dag
+    where
+        F: Fn(&RunPlan) -> Ros2World + Sync,
+    {
+        merge_dags(self.dags(build))
+    }
+
+    /// Runs `work` once per plan, on up to `threads` workers, and returns
+    /// the results in run order. Workers pull the next run index from a
+    /// shared counter, so long and short runs balance automatically.
+    pub fn for_each_run<T, F>(&self, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&RunPlan) -> T + Sync,
+    {
+        let plans = self.plans();
+        let workers = self.threads.min(plans.len());
+        if workers <= 1 {
+            return plans.iter().map(work).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<T>>> =
+            Mutex::new(plans.iter().map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(plan) = plans.get(i) else { break };
+                    let result = work(plan);
+                    slots.lock().expect("result lock")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result lock")
+            .into_iter()
+            .map(|r| r.expect("every run completed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_ros2::WorldBuilder;
+    use rtms_workloads::syn_app;
+
+    fn syn_world(plan: &RunPlan) -> Ros2World {
+        WorldBuilder::new(2)
+            .seed(plan.seed)
+            .app(syn_app(1.0))
+            .build()
+            .expect("SYN world")
+    }
+
+    #[test]
+    fn plans_are_seeded_sequentially() {
+        let h = Harness::new(3, Nanos::from_secs(1), 10);
+        let plans = h.plans();
+        assert_eq!(plans.len(), 3);
+        assert_eq!(plans[0], RunPlan { index: 0, seed: 10 });
+        assert_eq!(plans[2], RunPlan { index: 2, seed: 12 });
+    }
+
+    #[test]
+    fn results_come_back_in_run_order_regardless_of_threads() {
+        let h = Harness::new(8, Nanos::from_secs(1), 0).threads(4);
+        let indices = h.for_each_run(|plan| plan.index);
+        assert_eq!(indices, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_traces_match_sequential() {
+        let seq = Harness::new(3, Nanos::from_millis(300), 5).threads(1).traces(syn_world);
+        let par = Harness::new(3, Nanos::from_millis(300), 5).threads(3).traces(syn_world);
+        assert_eq!(seq, par);
+        assert!(seq.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn merged_model_independent_of_thread_count() {
+        let a = Harness::new(4, Nanos::from_millis(300), 1).threads(1).merged(syn_world);
+        let b = Harness::new(4, Nanos::from_millis(300), 1).threads(4).merged(syn_world);
+        assert_eq!(a.to_dot(), b.to_dot());
+    }
+}

@@ -1,28 +1,26 @@
-//! Shared helpers for the experiment binaries that regenerate the paper's
-//! tables and figures.
+//! Shared infrastructure for the experiment binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! - [`args`]: the one documented `key=value` argument surface
+//!   (`runs`/`secs`/`seed`/`threads`/`format`) every binary parses through.
+//! - [`harness`]: the parallel multi-run harness — N seeded simulation runs
+//!   fanned out across worker threads, results collected in run order so
+//!   output is identical for any `threads` setting.
+//! - AVP helpers ([`avp_vertex_key`], [`structure_summary`]) shared by the
+//!   table/figure binaries.
 //!
 //! Every binary accepts `key=value` arguments (e.g. `runs=10 secs=20`) to
 //! scale the experiment down from the paper's full 50 × 80 s configuration;
-//! defaults match the paper.
+//! defaults match the paper. See `docs/EXPERIMENTS.md` for the catalog.
+
+pub mod args;
+pub mod harness;
+
+pub use args::{ArgError, Defaults, ExperimentArgs, OutputFormat};
+pub use harness::{Harness, RunPlan};
 
 use rtms_core::{Dag, VertexKind};
 use rtms_trace::CallbackKind;
-use std::collections::HashMap;
-
-/// Parses `key=value` command-line arguments.
-pub fn parse_args() -> HashMap<String, String> {
-    std::env::args()
-        .skip(1)
-        .filter_map(|a| {
-            a.split_once('=').map(|(k, v)| (k.to_string(), v.to_string()))
-        })
-        .collect()
-}
-
-/// Reads a numeric argument with a default.
-pub fn arg_u64(args: &HashMap<String, String>, key: &str, default: u64) -> u64 {
-    args.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 /// Finds the merge key of a Table II callback in an AVP model: the fusion
 /// node hosts two subscribers (cb3 ⊂ rear, cb4 ⊂ front); all other rows
@@ -98,13 +96,5 @@ mod tests {
         assert!(avp_vertex_key(&dag, "cb7").is_none());
         let s = structure_summary(&dag);
         assert!(s.contains("vertices"), "{s}");
-    }
-
-    #[test]
-    fn arg_parsing() {
-        let mut args = HashMap::new();
-        args.insert("runs".to_string(), "10".to_string());
-        assert_eq!(arg_u64(&args, "runs", 50), 10);
-        assert_eq!(arg_u64(&args, "secs", 80), 80);
     }
 }

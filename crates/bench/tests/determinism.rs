@@ -1,0 +1,50 @@
+//! The harness's determinism contract: the same `seed` and `runs` produce
+//! a byte-identical merged model regardless of `threads`.
+
+use rtms_bench::{Defaults, ExperimentArgs, Harness};
+use rtms_ros2::WorldBuilder;
+use rtms_trace::Nanos;
+use rtms_workloads::{case_study_run_conditions, case_study_world_for_run, syn_app};
+
+/// SYN workload, threads=1 versus threads=4: merged DAG DOT must be
+/// byte-identical.
+#[test]
+fn syn_merged_dot_identical_across_thread_counts() {
+    let dot = |threads: usize| {
+        Harness::new(4, Nanos::from_secs(1), 7)
+            .threads(threads)
+            .merged(|plan| {
+                WorldBuilder::new(4)
+                    .seed(plan.seed)
+                    .app(syn_app(1.0))
+                    .build()
+                    .expect("SYN world")
+            })
+            .to_dot()
+    };
+    let sequential = dot(1);
+    let parallel = dot(4);
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, parallel);
+}
+
+/// The table2 path (AVP + SYN with per-run conditions, configured through
+/// the shared parser) is equally thread-count-invariant.
+#[test]
+fn case_study_merged_dot_identical_across_thread_counts() {
+    let dot = |threads: &str| {
+        let args = ExperimentArgs::from_iter(
+            ["runs=3", "secs=1", "seed=0", threads],
+            Defaults { runs: 50, secs: 80, seed: 0 },
+            &[],
+        )
+        .expect("valid args");
+        let conditions = case_study_run_conditions(args.runs(), args.seed());
+        Harness::from_args(&args)
+            .merged(|plan| {
+                case_study_world_for_run(args.seed(), plan.index, conditions[plan.index])
+            })
+            .to_dot()
+    };
+    assert_eq!(dot("threads=1"), dot("threads=4"));
+}

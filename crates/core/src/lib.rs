@@ -21,6 +21,8 @@
 //!
 //! The entry point for whole traces is [`synthesis::synthesize`].
 
+#![warn(missing_docs)]
+
 pub mod alg1;
 pub mod alg2;
 pub mod cblist;
@@ -34,7 +36,7 @@ pub use alg1::extract_callbacks;
 pub use alg2::execution_time;
 pub use cblist::{CallbackRecord, CbList};
 pub use dag::{Dag, DagEdge, DagVertex, VertexId, VertexKind};
-pub use merge::{merge_dags, ConvergenceSeries};
+pub use merge::{merge_dag_refs, merge_dags, ConvergenceSeries};
 pub use multimode::MultiModeDag;
 pub use stats::ExecStats;
 pub use synthesis::{node_name_map, synthesize, synthesize_per_node, synthesize_with_names};

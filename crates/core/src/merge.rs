@@ -23,6 +23,30 @@ pub fn merge_dags<I: IntoIterator<Item = Dag>>(dags: I) -> Dag {
     acc
 }
 
+/// [`merge_dags`] over borrowed models — merges a slice (or any other
+/// borrowing iterator) of per-run DAGs without consuming or cloning them,
+/// so callers can keep the per-run models for convergence studies after
+/// merging.
+///
+/// # Example
+///
+/// ```
+/// use rtms_core::{merge_dag_refs, Dag};
+///
+/// let runs = vec![Dag::new(), Dag::new()];
+/// let merged = merge_dag_refs(&runs);
+/// assert!(merged.vertices().is_empty());
+/// assert_eq!(runs.len(), 2); // still available
+/// ```
+pub fn merge_dag_refs<'a, I: IntoIterator<Item = &'a Dag>>(dags: I) -> Dag {
+    let mut iter = dags.into_iter();
+    let mut acc = iter.next().cloned().unwrap_or_default();
+    for d in iter {
+        acc.merge(d);
+    }
+    acc
+}
+
 /// The evolution of a callback's measured timing attributes as more runs
 /// are merged — the data behind Fig. 4 of the paper.
 #[derive(Debug, Clone, PartialEq)]

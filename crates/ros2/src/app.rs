@@ -355,17 +355,20 @@ impl AppBuilder {
 
     /// Declares a `message_filters` synchronizer over subscriber callbacks
     /// of `node`.
-    pub fn sync_group(
+    pub fn sync_group<M, O>(
         &mut self,
         node: NodeId,
         name: impl Into<String>,
-        members: impl IntoIterator<Item = &'static str>,
-        outputs: impl IntoIterator<Item = &'static str>,
-    ) {
+        members: impl IntoIterator<Item = M>,
+        outputs: impl IntoIterator<Item = O>,
+    ) where
+        M: Into<String>,
+        O: Into<String>,
+    {
         self.nodes[node.0].sync_groups.push(SyncGroupSpec {
             name: name.into(),
-            members: members.into_iter().map(String::from).collect(),
-            outputs: outputs.into_iter().map(String::from).collect(),
+            members: members.into_iter().map(Into::into).collect(),
+            outputs: outputs.into_iter().map(Into::into).collect(),
         });
     }
 

@@ -25,6 +25,8 @@
 //! assert_eq!(trace.ros_events().len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod event;
 pub mod ids;
 pub mod probe;

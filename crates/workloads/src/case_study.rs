@@ -48,19 +48,59 @@ pub fn run_and_synthesize(world: &mut Ros2World, duration: Nanos) -> Dag {
     synthesize(&trace)
 }
 
+/// The per-run variation of the case study: SYN's load scale and the AVP
+/// run condition of one run in a multi-run experiment.
+///
+/// Precomputing these (see [`case_study_run_conditions`]) is what lets a
+/// parallel harness hand each worker thread a self-contained run recipe
+/// while drawing the condition randomness in the exact sequential order the
+/// paper's experiment shape defines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunCondition {
+    /// SYN's computational load scale for this run (0.5× .. 1.5×).
+    pub syn_scale: f64,
+    /// The AVP run condition (see
+    /// [`crate::avp::avp_calibration_with_condition`]).
+    pub condition: f64,
+}
+
+/// The run conditions of the paper's experiment shape, in run order: SYN's
+/// load scale cycles between 0.5× and 1.5×, and the AVP condition is drawn
+/// from an RNG seeded by `base_seed` — so the full multi-run experiment is
+/// reproducible from (`runs`, `base_seed`) alone.
+pub fn case_study_run_conditions(runs: usize, base_seed: u64) -> Vec<RunCondition> {
+    let mut conditions = StdRng::seed_from_u64(base_seed ^ 0xc0ffee);
+    (0..runs)
+        .map(|i| RunCondition {
+            syn_scale: 0.5 + (i as f64 % 11.0) / 10.0, // 0.5 .. 1.5
+            condition: conditions.gen_range(0.0..=1.0),
+        })
+        .collect()
+}
+
+/// Builds the world of run `index` of a multi-run case-study experiment:
+/// seeded `base_seed + index`, under the given [`RunCondition`].
+pub fn case_study_world_for_run(
+    base_seed: u64,
+    index: usize,
+    cond: RunCondition,
+) -> Ros2World {
+    case_study_world_with_condition(base_seed + index as u64, cond.syn_scale, cond.condition)
+}
+
 /// The paper's experiment shape: `runs` independent runs of `duration`
 /// each, a DAG synthesized per run (deployment option (ii) of Fig. 2).
 /// SYN's load scale varies per run between 0.5× and 1.5×.
 ///
 /// Returns the per-run DAGs, ready for merging or convergence studies.
+/// (This is the sequential reference path; `rtms-bench`'s `Harness` fans
+/// the same runs out across threads with identical results.)
 pub fn synthesize_runs(runs: usize, duration: Nanos, base_seed: u64) -> Vec<Dag> {
-    let mut conditions = StdRng::seed_from_u64(base_seed ^ 0xc0ffee);
-    (0..runs)
-        .map(|i| {
-            let scale = 0.5 + (i as f64 % 11.0) / 10.0; // 0.5 .. 1.5
-            let condition = conditions.gen_range(0.0..=1.0);
-            let mut world =
-                case_study_world_with_condition(base_seed + i as u64, scale, condition);
+    case_study_run_conditions(runs, base_seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, cond)| {
+            let mut world = case_study_world_for_run(base_seed, i, cond);
             run_and_synthesize(&mut world, duration)
         })
         .collect()

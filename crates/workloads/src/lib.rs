@@ -11,9 +11,13 @@
 //!   execution-time distributions calibrated to Table II.
 //! - [`case_study`]: both applications running concurrently on a machine
 //!   modeled after the paper's testbed, plus run-repetition helpers.
+//! - [`generator`]: a seeded random application generator producing valid
+//!   [`rtms_ros2::AppSpec`]s of arbitrary shape — the input to scaling
+//!   experiments and property suites beyond the paper's two workloads.
 
 pub mod avp;
 pub mod case_study;
+pub mod generator;
 pub mod syn;
 
 pub use avp::{
@@ -21,6 +25,8 @@ pub use avp::{
     avp_table2_calibration, AVP_CALLBACKS,
 };
 pub use case_study::{
-    case_study_world, case_study_world_with_condition, run_and_synthesize, synthesize_runs,
+    case_study_run_conditions, case_study_world, case_study_world_for_run,
+    case_study_world_with_condition, run_and_synthesize, synthesize_runs, RunCondition,
 };
+pub use generator::{generate_app, GeneratorConfig};
 pub use syn::{syn_app, SYN_EDGE_COUNT, SYN_VERTEX_COUNT};
