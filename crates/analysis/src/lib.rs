@@ -30,6 +30,6 @@ pub mod waiting;
 pub use ablation::{spurious_chain_report, SpuriousChains};
 pub use chains::{enumerate_chains, latency_bound, Chain};
 pub use e2e::{end_to_end_latencies, E2eMeasurement};
-pub use load::{callback_load, node_loads, node_loads_across_runs, NodeLoad};
+pub use load::{callback_load, node_loads, node_loads_across_runs, LoadAccumulator, NodeLoad};
 pub use optimize::{propose_schedule, propose_schedule_for, NodeAssignment, ScheduleProposal};
 pub use waiting::{waiting_times, WaitMeasurement};

@@ -57,24 +57,74 @@ pub fn node_loads(dag: &Dag, window: Nanos) -> Vec<NodeLoad> {
 /// appear contributes zero load for it (the node was idle, not absent from
 /// the machine). This is the multi-run generalization of [`node_loads`]
 /// used by the experiment harness: feed it the per-run DAGs a run fan-out
-/// collected and the per-run observation window.
+/// collected and the per-run observation window. For models that arrive
+/// one at a time (streamed synthesis, models loaded from disk), use
+/// [`LoadAccumulator`] — this function is its batch wrapper.
 pub fn node_loads_across_runs(dags: &[Dag], window: Nanos) -> Vec<NodeLoad> {
-    if dags.is_empty() {
-        return Vec::new();
-    }
-    let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    let mut acc = LoadAccumulator::new(window);
     for dag in dags {
-        for nl in node_loads(dag, window) {
-            *sums.entry(nl.node).or_insert(0.0) += nl.load;
+        acc.add_run(dag);
+    }
+    acc.mean_loads()
+}
+
+/// Streaming accumulator behind [`node_loads_across_runs`]: folds per-run
+/// models in one at a time, so a cross-run load analysis never needs every
+/// run's DAG in memory at once.
+///
+/// # Example
+///
+/// ```
+/// use rtms_analysis::LoadAccumulator;
+/// use rtms_core::Dag;
+/// use rtms_trace::Nanos;
+///
+/// let mut acc = LoadAccumulator::new(Nanos::from_secs(1));
+/// acc.add_run(&Dag::new()); // e.g. a model streamed from a SynthesisSession
+/// assert_eq!(acc.runs(), 1);
+/// assert!(acc.mean_loads().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadAccumulator {
+    window: Nanos,
+    sums: std::collections::HashMap<String, f64>,
+    runs: usize,
+}
+
+impl LoadAccumulator {
+    /// Creates an accumulator for runs that each observed `window`.
+    pub fn new(window: Nanos) -> LoadAccumulator {
+        LoadAccumulator { window, sums: std::collections::HashMap::new(), runs: 0 }
+    }
+
+    /// Folds in one run's model; the model can be dropped afterwards.
+    pub fn add_run(&mut self, dag: &Dag) {
+        self.runs += 1;
+        for nl in node_loads(dag, self.window) {
+            *self.sums.entry(nl.node).or_insert(0.0) += nl.load;
         }
     }
-    let runs = dags.len() as f64;
-    let mut out: Vec<NodeLoad> = sums
-        .into_iter()
-        .map(|(node, sum)| NodeLoad { node, load: sum / runs })
-        .collect();
-    out.sort_by(|a, b| b.load.total_cmp(&a.load).then_with(|| a.node.cmp(&b.node)));
-    out
+
+    /// Number of runs folded in so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Mean per-node loads over the runs seen so far, sorted descending
+    /// (ties broken by node name). Empty if no runs were added.
+    pub fn mean_loads(&self) -> Vec<NodeLoad> {
+        if self.runs == 0 {
+            return Vec::new();
+        }
+        let runs = self.runs as f64;
+        let mut out: Vec<NodeLoad> = self
+            .sums
+            .iter()
+            .map(|(node, sum)| NodeLoad { node: node.clone(), load: sum / runs })
+            .collect();
+        out.sort_by(|a, b| b.load.total_cmp(&a.load).then_with(|| a.node.cmp(&b.node)));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +179,17 @@ mod tests {
         assert_eq!(loads.len(), 1);
         assert!((loads[0].load - 0.025).abs() < 1e-9);
         assert!(node_loads_across_runs(&[], Nanos::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn accumulator_matches_batch() {
+        let runs = [dag_one_cb(&[10; 5]), dag_one_cb(&[20; 2]), Dag::new()];
+        let mut acc = LoadAccumulator::new(Nanos::from_secs(1));
+        for dag in &runs {
+            acc.add_run(dag);
+        }
+        assert_eq!(acc.runs(), 3);
+        assert_eq!(acc.mean_loads(), node_loads_across_runs(&runs, Nanos::from_secs(1)));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Batch vs streaming synthesis over the same pre-collected trace.
+//!
+//! `batch` synthesizes the monolithic trace in one call (which itself runs
+//! on the shared-cursor session); `streaming/N` re-segments the trace into
+//! N-event chunks and feeds them to a `SynthesisSession` — measuring what
+//! the segment plumbing costs relative to one big feed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtms_core::{synthesize, SynthesisSession};
+use rtms_ros2::WorldBuilder;
+use rtms_trace::{split_by_events, Nanos};
+use rtms_workloads::syn_app;
+use std::hint::black_box;
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut world = WorldBuilder::new(4).seed(7).app(syn_app(1.0)).build().expect("SYN app");
+    let trace = world.trace_run(Nanos::from_secs(2));
+
+    let mut group = c.benchmark_group("streaming_synthesis");
+    group.bench_function("batch", |b| b.iter(|| black_box(synthesize(&trace))));
+    for per_segment in [256usize, 4096] {
+        let segments = split_by_events(&trace, per_segment);
+        group.bench_with_input(
+            BenchmarkId::new("streaming", per_segment),
+            &segments,
+            |b, segments| {
+                b.iter(|| {
+                    let mut session = SynthesisSession::new();
+                    for segment in segments {
+                        session.feed_segment(segment);
+                    }
+                    black_box(session.model())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

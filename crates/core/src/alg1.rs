@@ -8,20 +8,12 @@ use rtms_trace::{
 };
 use std::collections::HashMap;
 
-/// Extracts callback lists for several nodes, sharing one event index.
-pub(crate) fn extract_all(pids: &[Pid], trace: &Trace) -> Vec<(Pid, CbList)> {
-    let index = EventIndex::build(trace);
-    pids.iter()
-        .map(|&pid| (pid, extract_callbacks_indexed(pid, trace, &index)))
-        .collect()
-}
-
 /// Decoration used when the caller/client of a service interaction cannot
 /// be identified in the trace (e.g. the matching events fell outside the
 /// tracing window).
-const UNKNOWN: &str = "unknown";
+pub(crate) const UNKNOWN: &str = "unknown";
 
-fn cat(topic: &Topic, suffix: &str) -> String {
+pub(crate) fn cat(topic: &Topic, suffix: &str) -> String {
     format!("{}#{}", topic.name(), suffix)
 }
 
@@ -38,27 +30,39 @@ struct Wip {
 
 /// Chronologically sorted event view with the lookup structures
 /// `FindCaller` and `FindClient` need, built once per extraction.
+///
+/// Both maps key on the (`Copy`) source timestamp and disambiguate the
+/// topic inside the tiny per-key vector, so lookups compare topics by
+/// reference — no `Topic` clone or allocation on the lookup path.
 struct EventIndex {
     all: Vec<RosEvent>,
-    /// `(topic, srcTS)` of a `dds_write` -> its index in `all`.
-    writes: HashMap<(Topic, SourceTimestamp), usize>,
-    /// `(topic, srcTS)` of `take_response` events -> their indices.
-    responses: HashMap<(Topic, SourceTimestamp), Vec<usize>>,
+    /// `srcTS` of `dds_write` events -> `(topic, index in all)` per write,
+    /// first write per `(topic, srcTS)` wins.
+    writes: HashMap<SourceTimestamp, Vec<(Topic, usize)>>,
+    /// `srcTS` of `take_response` events -> per-topic indices in `all`.
+    responses: HashMap<SourceTimestamp, Vec<(Topic, Vec<usize>)>>,
 }
 
 impl EventIndex {
     fn build(trace: &Trace) -> EventIndex {
         let mut all: Vec<RosEvent> = trace.ros_events().to_vec();
         all.sort_by_key(|e| e.time);
-        let mut writes = HashMap::new();
-        let mut responses: HashMap<(Topic, SourceTimestamp), Vec<usize>> = HashMap::new();
+        let mut writes: HashMap<SourceTimestamp, Vec<(Topic, usize)>> = HashMap::new();
+        let mut responses: HashMap<SourceTimestamp, Vec<(Topic, Vec<usize>)>> = HashMap::new();
         for (i, e) in all.iter().enumerate() {
             match &e.payload {
                 RosPayload::DdsWrite { topic, src_ts } => {
-                    writes.entry((topic.clone(), *src_ts)).or_insert(i);
+                    let entries = writes.entry(*src_ts).or_default();
+                    if !entries.iter().any(|(t, _)| t == topic) {
+                        entries.push((topic.clone(), i));
+                    }
                 }
                 RosPayload::TakeResponse { topic, src_ts, .. } => {
-                    responses.entry((topic.clone(), *src_ts)).or_default().push(i);
+                    let entries = responses.entry(*src_ts).or_default();
+                    match entries.iter_mut().find(|(t, _)| t == topic) {
+                        Some((_, indices)) => indices.push(i),
+                        None => entries.push((topic.clone(), vec![i])),
+                    }
                 }
                 _ => {}
             }
@@ -74,7 +78,11 @@ impl EventIndex {
     /// `timer_call`/`take` event after the last callback start provides
     /// the caller's callback ID.
     fn find_caller(&self, topic: &Topic, src_ts: SourceTimestamp) -> Option<CallbackId> {
-        let write_idx = *self.writes.get(&(topic.clone(), src_ts))?;
+        let write_idx = self
+            .writes
+            .get(&src_ts)?
+            .iter()
+            .find_map(|(t, i)| (t == topic).then_some(*i))?;
         let writer = self.all[write_idx].pid;
         for e in self.all[..write_idx].iter().rev().filter(|e| e.pid == writer) {
             match &e.payload {
@@ -98,7 +106,12 @@ impl EventIndex {
     /// chronologically next `take_type_erased_response` event in the same
     /// PID tells whether the client callback is dispatched there.
     fn find_client(&self, topic: &Topic, src_ts: SourceTimestamp) -> Option<CallbackId> {
-        for &idx in self.responses.get(&(topic.clone(), src_ts))?.iter() {
+        let indices = self
+            .responses
+            .get(&src_ts)?
+            .iter()
+            .find_map(|(t, indices)| (t == topic).then_some(indices))?;
+        for &idx in indices {
             let e = &self.all[idx];
             let callback = match &e.payload {
                 RosPayload::TakeResponse { callback, .. } => *callback,

@@ -19,7 +19,9 @@
 //! 4. [`merge`] unions DAGs from many runs (deployment options of Fig. 2)
 //!    and [`multimode::MultiModeDag`] keeps per-scenario models.
 //!
-//! The entry point for whole traces is [`synthesis::synthesize`].
+//! The entry point for whole traces is [`synthesis::synthesize`]; streamed
+//! runs feed a [`session::SynthesisSession`] segment by segment and read
+//! the model at any point, in memory bounded by the segment size.
 
 #![warn(missing_docs)]
 
@@ -29,6 +31,7 @@ pub mod cblist;
 pub mod dag;
 pub mod merge;
 pub mod multimode;
+pub mod session;
 pub mod stats;
 pub mod synthesis;
 
@@ -38,5 +41,8 @@ pub use cblist::{CallbackRecord, CbList};
 pub use dag::{Dag, DagEdge, DagVertex, VertexId, VertexKind};
 pub use merge::{merge_dag_refs, merge_dags, ConvergenceSeries};
 pub use multimode::MultiModeDag;
+pub use session::SynthesisSession;
 pub use stats::ExecStats;
-pub use synthesis::{node_name_map, synthesize, synthesize_per_node, synthesize_with_names};
+pub use synthesis::{
+    node_name_map, node_name_map_shared, synthesize, synthesize_per_node, synthesize_with_names,
+};

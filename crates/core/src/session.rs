@@ -1,0 +1,895 @@
+//! Incremental model synthesis over streamed trace segments.
+//!
+//! The batch pipeline materializes a whole run as one [`Trace`] and then
+//! synthesizes — which caps run length at available memory. A
+//! [`SynthesisSession`] instead consumes the run as a sequence of bounded
+//! segments ([`rtms_trace::TraceSegment`]) and keeps only *derived* state
+//! between segments:
+//!
+//! - per node, the open callback instance (Algorithm 1's walker state,
+//!   including an online Algorithm 2 execution-time clock) and the
+//!   callback list folded so far;
+//! - the unmatched service interaction tables — request writes awaiting
+//!   their `take_request` (`FindCaller`) and response writes awaiting the
+//!   client-side dispatch decision (`FindClient`) — which shrink again as
+//!   interactions complete.
+//!
+//! [`SynthesisSession::model`] can be called at any point and returns
+//! exactly what batch [`crate::synthesize`] would return for the events
+//! fed so far; the batch entry points are thin wrappers that feed one
+//! segment. Equivalence holds for *causally ordered* streams (a sample's
+//! `dds_write` precedes its `take_*` events, as any real trace satisfies)
+//! segmented at arbitrary points — pinned down to the byte by the
+//! streaming-equivalence suite, including one-event segments.
+
+use crate::alg1::{cat, UNKNOWN};
+use crate::cblist::{CallbackRecord, CbList};
+use crate::dag::Dag;
+use crate::stats::ExecStats;
+use rtms_trace::{
+    CallbackId, CallbackKind, Nanos, Pid, RosEvent, RosPayload, SchedEvent, SchedEventKind,
+    SegmentCursor, SegmentEvent, SourceTimestamp, Topic, Trace, TraceSegment,
+};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Online Algorithm 2: accumulates the CPU execution time of one open
+/// callback instance as `sched_switch` events stream past.
+///
+/// Matches the batch [`crate::execution_time`] semantics exactly: events at
+/// `time <= start` are ignored, events at `time == end` are excluded. The
+/// end is unknown while streaming, so the clock snapshots its state before
+/// the first event at the newest timestamp; if the instance then ends at
+/// exactly that timestamp, the snapshot rolls those events back.
+#[derive(Debug, Clone)]
+struct ExecClock {
+    start: Nanos,
+    exec: Nanos,
+    last_start: Nanos,
+    running: bool,
+    max_time: Nanos,
+    snapshot: Option<(Nanos, Nanos, bool)>,
+}
+
+impl ExecClock {
+    fn new(start: Nanos) -> ExecClock {
+        ExecClock {
+            start,
+            exec: Nanos::ZERO,
+            last_start: start,
+            running: true, // T is running when the CB start event fires
+            max_time: start,
+            snapshot: None,
+        }
+    }
+
+    fn on_switch(&mut self, time: Nanos, prev: Pid, next: Pid, pid: Pid) {
+        if time <= self.start {
+            return;
+        }
+        if time > self.max_time {
+            self.snapshot = Some((self.exec, self.last_start, self.running));
+            self.max_time = time;
+        }
+        if prev == pid {
+            if self.running {
+                self.exec += time - self.last_start;
+                self.running = false;
+            }
+        } else if next == pid {
+            self.last_start = time;
+            self.running = true;
+        }
+    }
+
+    fn finalize(mut self, end: Nanos) -> Nanos {
+        if self.max_time == end {
+            // Events at exactly `end` are outside the strict window
+            // (Algorithm 2, line 4): roll them back.
+            if let Some((exec, last_start, running)) = self.snapshot {
+                self.exec = exec;
+                self.last_start = last_start;
+                self.running = running;
+            }
+        }
+        if self.running {
+            self.exec += end - self.last_start;
+        }
+        self.exec
+    }
+}
+
+/// One published topic of an instance: already decorated, or awaiting the
+/// client-side dispatch decision of a service response (`FindClient`).
+#[derive(Debug, Clone)]
+enum OutSlot {
+    Ready(String),
+    AwaitClient { topic: Topic, src_ts: SourceTimestamp },
+}
+
+/// A callback instance currently being assembled (between its start and
+/// end events, which may lie in different segments).
+#[derive(Debug)]
+struct OpenInstance {
+    seq: u64,
+    kind: CallbackKind,
+    start: Nanos,
+    id: Option<CallbackId>,
+    in_topic: Option<String>,
+    outs: Vec<OutSlot>,
+    unresolved: usize,
+    sync: bool,
+    clock: ExecClock,
+}
+
+impl OpenInstance {
+    fn new(seq: u64, kind: CallbackKind, start: Nanos) -> OpenInstance {
+        OpenInstance {
+            seq,
+            kind,
+            start,
+            id: None,
+            in_topic: None,
+            outs: Vec::new(),
+            unresolved: 0,
+            sync: false,
+            clock: ExecClock::new(start),
+        }
+    }
+}
+
+/// A completed instance whose response decorations are not all known yet.
+/// It folds into the callback list as soon as it is fully resolved — but
+/// never before an earlier instance of the same node, so entries keep the
+/// first-seen order batch extraction produces.
+#[derive(Debug)]
+struct PendingInstance {
+    seq: u64,
+    id: CallbackId,
+    kind: CallbackKind,
+    in_topic: Option<String>,
+    outs: Vec<OutSlot>,
+    unresolved: usize,
+    sync: bool,
+    start: Nanos,
+    exec: Nanos,
+}
+
+/// Per-node (per-PID) walker state.
+#[derive(Debug, Default)]
+struct PidState {
+    wip: Option<OpenInstance>,
+    /// The last `timer_call`/`take_*` identity event since the last
+    /// callback start — what `FindCaller`'s backward scan would find.
+    last_identity: Option<CallbackId>,
+    /// Response observations of this node awaiting its next
+    /// `take_type_erased_response` dispatch decision: `(srcTS, topic,
+    /// observation index)`.
+    awaiting_dispatch: Vec<(SourceTimestamp, Topic, usize)>,
+    pending: VecDeque<PendingInstance>,
+    list: CbList,
+}
+
+/// A service-request `dds_write` not yet matched by its `take_request`,
+/// with the caller identity resolved at write time.
+#[derive(Debug)]
+struct WriteEntry {
+    topic: Topic,
+    caller: Option<CallbackId>,
+}
+
+/// One `take_response` observation: the reading client callback and the
+/// dispatch decision of the next P14 event in its node (if seen).
+#[derive(Debug)]
+struct RespObs {
+    callback: CallbackId,
+    dispatch: Option<bool>,
+}
+
+/// An instance output slot waiting for a response key to resolve.
+#[derive(Debug)]
+struct Waiter {
+    pid: Pid,
+    seq: u64,
+    slot: usize,
+}
+
+/// The response observations and waiting writers of one
+/// `(topic, srcTS)` service-response key.
+#[derive(Debug)]
+struct RespState {
+    topic: Topic,
+    obs: Vec<RespObs>,
+    waiters: Vec<Waiter>,
+}
+
+/// Incremental synthesis over streamed trace segments.
+///
+/// Feed segments (or whole traces) in chronological order with
+/// [`SynthesisSession::feed_segment`] / [`SynthesisSession::feed_trace`];
+/// call [`SynthesisSession::model`] at any point for the timing model of
+/// everything fed so far. The session is an [`rtms_trace::EventSink`], so a
+/// running world can drain tracer buffers straight into it.
+///
+/// # Example
+///
+/// ```
+/// use rtms_core::{synthesize, SynthesisSession};
+/// use rtms_trace::{split_by_events, CallbackId, CallbackKind, Nanos, Pid, RosEvent, RosPayload, Trace};
+///
+/// let pid = Pid::new(5);
+/// let mut trace = Trace::new();
+/// for (ms, payload) in [
+///     (0, RosPayload::CallbackStart { kind: CallbackKind::Timer }),
+///     (0, RosPayload::TimerCall { callback: CallbackId::new(1) }),
+///     (3, RosPayload::CallbackEnd { kind: CallbackKind::Timer }),
+/// ] {
+///     trace.push_ros(RosEvent::new(Nanos::from_millis(ms), pid, payload));
+/// }
+///
+/// let mut session = SynthesisSession::new();
+/// for segment in split_by_events(&trace, 1) {
+///     session.feed_segment(&segment);
+/// }
+/// assert_eq!(session.model(), synthesize(&trace));
+/// ```
+#[derive(Debug)]
+pub struct SynthesisSession {
+    names: Arc<HashMap<Pid, String>>,
+    nodes: BTreeMap<Pid, PidState>,
+    writes: HashMap<SourceTimestamp, Vec<WriteEntry>>,
+    responses: HashMap<SourceTimestamp, Vec<RespState>>,
+    /// Events pushed through the `EventSink` interface, pending a
+    /// [`SynthesisSession::flush`].
+    buffer: TraceSegment,
+    next_seq: u64,
+    segments_fed: usize,
+    events_fed: u64,
+    peak_segment_events: usize,
+    peak_watermark: usize,
+}
+
+impl Default for SynthesisSession {
+    fn default() -> Self {
+        SynthesisSession::new()
+    }
+}
+
+impl SynthesisSession {
+    /// Creates an empty session. Node names are learned from the P1
+    /// (`NodeInit`) events in the stream.
+    pub fn new() -> SynthesisSession {
+        SynthesisSession::with_names(Arc::new(HashMap::new()))
+    }
+
+    /// Creates a session seeded with a shared PID → node-name map — the map
+    /// extracted from the INIT segment of an earlier session or run. The
+    /// `Arc` is stored as-is, so any number of sessions can share one map
+    /// without re-cloning it; the map is only copied (once, copy-on-write)
+    /// if the stream contains a P1 event with a *new* name.
+    pub fn with_names(names: Arc<HashMap<Pid, String>>) -> SynthesisSession {
+        SynthesisSession {
+            names,
+            nodes: BTreeMap::new(),
+            writes: HashMap::new(),
+            responses: HashMap::new(),
+            buffer: TraceSegment::new(),
+            next_seq: 0,
+            segments_fed: 0,
+            events_fed: 0,
+            peak_segment_events: 0,
+            peak_watermark: 0,
+        }
+    }
+
+    /// Consumes everything pushed through the [`rtms_trace::EventSink`]
+    /// interface since the last flush, as one segment. Events pushed via
+    /// the sink are buffered (a drain delivers the ROS2 and scheduler
+    /// streams back to back, not merged), so call this once per drained
+    /// segment — e.g. after `Ros2World::trace_into(&mut session, ..)`.
+    pub fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let segment = std::mem::take(&mut self.buffer);
+        self.feed_segment(&segment);
+    }
+
+    /// The PID → node-name map accumulated so far (seed map plus streamed
+    /// P1 events). Clone the `Arc` to share it with later sessions.
+    pub fn names(&self) -> &Arc<HashMap<Pid, String>> {
+        &self.names
+    }
+
+    /// Consumes one trace segment. Events are walked chronologically
+    /// (both streams merged by timestamp); the segment can be dropped
+    /// afterwards — the session retains only derived state.
+    pub fn feed_segment(&mut self, segment: &TraceSegment) {
+        self.feed_cursor(segment.cursor(), segment.len());
+    }
+
+    /// Consumes a whole trace as one segment.
+    pub fn feed_trace(&mut self, trace: &Trace) {
+        self.feed_cursor(trace.cursor(), trace.len());
+    }
+
+    fn feed_cursor(&mut self, cursor: SegmentCursor<'_>, len: usize) {
+        self.segments_fed += 1;
+        self.events_fed += len as u64;
+        self.peak_segment_events = self.peak_segment_events.max(len);
+        for event in cursor {
+            match event {
+                SegmentEvent::Ros(e) => self.on_ros(e),
+                SegmentEvent::Sched(e) => self.on_sched(e),
+            }
+        }
+        let watermark = len + self.retained_entries();
+        self.peak_watermark = self.peak_watermark.max(watermark);
+    }
+
+    fn on_ros(&mut self, e: &RosEvent) {
+        let pid = e.pid;
+        match &e.payload {
+            RosPayload::NodeInit { node_name } => {
+                if self.names.get(&pid) != Some(node_name) {
+                    Arc::make_mut(&mut self.names).insert(pid, node_name.clone());
+                }
+            }
+            RosPayload::CallbackStart { kind } => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let st = self.nodes.entry(pid).or_default();
+                st.last_identity = None;
+                st.wip = Some(OpenInstance::new(seq, *kind, e.time));
+            }
+            RosPayload::TimerCall { callback } => {
+                let st = self.nodes.entry(pid).or_default();
+                st.last_identity = Some(*callback);
+                if let Some(w) = st.wip.as_mut() {
+                    w.id = Some(*callback);
+                }
+            }
+            RosPayload::TakeData { callback, topic, .. } => {
+                let st = self.nodes.entry(pid).or_default();
+                st.last_identity = Some(*callback);
+                if let Some(w) = st.wip.as_mut() {
+                    w.id = Some(*callback);
+                    w.in_topic = Some(topic.name().to_string());
+                }
+            }
+            RosPayload::TakeRequest { callback, topic, src_ts } => {
+                // `FindCaller`, online: the matching request write (if
+                // traced) streamed past earlier and recorded its caller;
+                // the unique server consumes the entry.
+                let in_wip =
+                    self.nodes.get(&pid).is_some_and(|s| s.wip.is_some());
+                let caller = if in_wip { self.consume_write(topic, *src_ts) } else { None };
+                let st = self.nodes.entry(pid).or_default();
+                st.last_identity = Some(*callback);
+                if let Some(w) = st.wip.as_mut() {
+                    w.id = Some(*callback);
+                    let dec = caller.map_or_else(|| UNKNOWN.to_string(), |c| c.to_string());
+                    w.in_topic = Some(cat(topic, &dec));
+                }
+            }
+            RosPayload::TakeResponse { callback, topic, src_ts } => {
+                // Record the observation under its response key (the key
+                // exists iff the traced response write is waiting on it)
+                // and queue it for this node's next dispatch decision.
+                let mut obs_idx = None;
+                if let Some(states) = self.responses.get_mut(src_ts) {
+                    if let Some(rs) = states.iter_mut().find(|r| &r.topic == topic) {
+                        rs.obs.push(RespObs { callback: *callback, dispatch: None });
+                        obs_idx = Some(rs.obs.len() - 1);
+                    }
+                }
+                let st = self.nodes.entry(pid).or_default();
+                st.last_identity = Some(*callback);
+                if let Some(i) = obs_idx {
+                    st.awaiting_dispatch.push((*src_ts, topic.clone(), i));
+                }
+                if let Some(w) = st.wip.as_mut() {
+                    w.id = Some(*callback);
+                    w.in_topic = Some(cat(topic, &callback.to_string()));
+                }
+            }
+            RosPayload::DdsWrite { topic, src_ts } => self.on_write(pid, topic, *src_ts),
+            RosPayload::ClientDispatch { will_dispatch } => {
+                let awaiting = {
+                    let st = self.nodes.entry(pid).or_default();
+                    if !*will_dispatch {
+                        st.wip = None; // instance will not be dispatched (line 25)
+                    }
+                    std::mem::take(&mut st.awaiting_dispatch)
+                };
+                for (src_ts, topic, obs_idx) in awaiting {
+                    if let Some(states) = self.responses.get_mut(&src_ts) {
+                        if let Some(rs) = states.iter_mut().find(|r| r.topic == topic) {
+                            rs.obs[obs_idx].dispatch = Some(*will_dispatch);
+                        }
+                    }
+                    self.try_commit_response(src_ts, &topic);
+                }
+            }
+            RosPayload::SyncSubscribe => {
+                if let Some(w) = self.nodes.entry(pid).or_default().wip.as_mut() {
+                    w.sync = true;
+                }
+            }
+            RosPayload::CallbackEnd { .. } => {
+                let st = self.nodes.entry(pid).or_default();
+                let Some(w) = st.wip.take() else { return };
+                let Some(id) = w.id else { return }; // unidentifiable instance
+                let exec = w.clock.finalize(e.time);
+                st.pending.push_back(PendingInstance {
+                    seq: w.seq,
+                    id,
+                    kind: w.kind,
+                    in_topic: w.in_topic,
+                    outs: w.outs,
+                    unresolved: w.unresolved,
+                    sync: w.sync,
+                    start: w.start,
+                    exec,
+                });
+                Self::fold_ready(pid, st);
+            }
+        }
+    }
+
+    fn on_write(&mut self, pid: Pid, topic: &Topic, src_ts: SourceTimestamp) {
+        if topic.is_service_request() {
+            // Record the caller (`FindCaller` resolved at write time);
+            // the first write per key wins, like the batch index.
+            let caller = self.nodes.get(&pid).and_then(|s| s.last_identity);
+            let entries = self.writes.entry(src_ts).or_default();
+            if !entries.iter().any(|w| &w.topic == topic) {
+                entries.push(WriteEntry { topic: topic.clone(), caller });
+            }
+        }
+        let Some((seq, own)) =
+            self.nodes.get(&pid).and_then(|s| s.wip.as_ref().map(|w| (w.seq, w.id)))
+        else {
+            return;
+        };
+        let slot = if topic.is_service_request() {
+            let own = own.map_or_else(|| UNKNOWN.to_string(), |c| c.to_string());
+            OutSlot::Ready(cat(topic, &own))
+        } else if topic.is_service_response() {
+            OutSlot::AwaitClient { topic: topic.clone(), src_ts }
+        } else {
+            OutSlot::Ready(topic.name().to_string())
+        };
+        let awaits_client = matches!(slot, OutSlot::AwaitClient { .. });
+        let st = self.nodes.get_mut(&pid).expect("wip implies state");
+        let w = st.wip.as_mut().expect("checked above");
+        w.outs.push(slot);
+        if awaits_client {
+            let waiter = Waiter { pid, seq, slot: w.outs.len() - 1 };
+            w.unresolved += 1;
+            let states = self.responses.entry(src_ts).or_default();
+            match states.iter_mut().find(|r| &r.topic == topic) {
+                Some(rs) => rs.waiters.push(waiter),
+                None => states.push(RespState {
+                    topic: topic.clone(),
+                    obs: Vec::new(),
+                    waiters: vec![waiter],
+                }),
+            }
+        }
+    }
+
+    /// Looks up (and consumes) the recorded caller of a request write.
+    fn consume_write(&mut self, topic: &Topic, src_ts: SourceTimestamp) -> Option<CallbackId> {
+        let entries = self.writes.get_mut(&src_ts)?;
+        let i = entries.iter().position(|w| &w.topic == topic)?;
+        let entry = entries.swap_remove(i);
+        if entries.is_empty() {
+            self.writes.remove(&src_ts);
+        }
+        entry.caller
+    }
+
+    /// Commits a response key once its `FindClient` outcome can no longer
+    /// change: the chronologically first dispatched-true observation, with
+    /// every earlier observation decided. Delivers the client identity to
+    /// all waiting output slots and drops the key.
+    fn try_commit_response(&mut self, src_ts: SourceTimestamp, topic: &Topic) {
+        let Some(states) = self.responses.get_mut(&src_ts) else { return };
+        let Some(idx) = states.iter().position(|r| &r.topic == topic) else { return };
+        let mut client = None;
+        for obs in &states[idx].obs {
+            match obs.dispatch {
+                None => return, // an earlier observation is still undecided
+                Some(true) => {
+                    client = Some(obs.callback);
+                    break;
+                }
+                Some(false) => {}
+            }
+        }
+        // All decided-false so far: a future take of the same response
+        // could still dispatch, so the key must stay open.
+        let Some(client) = client else { return };
+        let resolved = states.swap_remove(idx);
+        if states.is_empty() {
+            self.responses.remove(&src_ts);
+        }
+        for waiter in resolved.waiters {
+            self.deliver(waiter, &resolved.topic, client);
+        }
+    }
+
+    /// Fills a waiting output slot with the resolved client decoration.
+    fn deliver(&mut self, waiter: Waiter, topic: &Topic, client: CallbackId) {
+        let Some(st) = self.nodes.get_mut(&waiter.pid) else { return };
+        let resolved = OutSlot::Ready(cat(topic, &client.to_string()));
+        if let Some(w) = st.wip.as_mut().filter(|w| w.seq == waiter.seq) {
+            w.outs[waiter.slot] = resolved;
+            w.unresolved -= 1;
+            return;
+        }
+        if let Some(p) = st.pending.iter_mut().find(|p| p.seq == waiter.seq) {
+            p.outs[waiter.slot] = resolved;
+            p.unresolved -= 1;
+            Self::fold_ready(waiter.pid, st);
+        }
+        // Otherwise the instance was discarded (undispatched client): the
+        // resolution has nowhere to go.
+    }
+
+    /// Folds fully resolved pending instances into the node's callback
+    /// list, strictly in completion order.
+    fn fold_ready(pid: Pid, st: &mut PidState) {
+        while st.pending.front().is_some_and(|p| p.unresolved == 0) {
+            let p = st.pending.pop_front().expect("checked front");
+            let outs = p
+                .outs
+                .iter()
+                .map(|slot| match slot {
+                    OutSlot::Ready(s) => s.clone(),
+                    OutSlot::AwaitClient { .. } => unreachable!("unresolved == 0"),
+                })
+                .collect();
+            st.list.add_instance(Self::finished_record(pid, &p, outs));
+        }
+    }
+
+    fn finished_record(pid: Pid, p: &PendingInstance, outs: Vec<String>) -> CallbackRecord {
+        CallbackRecord {
+            pid,
+            id: p.id,
+            kind: p.kind,
+            in_topic: p.in_topic.clone(),
+            out_topics: outs,
+            is_sync_subscriber: p.sync,
+            stats: ExecStats::from_samples([p.exec]),
+            exec_times: vec![p.exec],
+            start_times: vec![p.start],
+        }
+    }
+
+    fn on_sched(&mut self, e: &SchedEvent) {
+        let SchedEventKind::Switch { prev_pid, next_pid, .. } = &e.kind else {
+            return; // wakeups do not put a thread on a CPU
+        };
+        let involved = [*prev_pid, *next_pid];
+        let targets = if prev_pid == next_pid { &involved[..1] } else { &involved[..] };
+        for &pid in targets {
+            if let Some(w) = self.nodes.get_mut(&pid).and_then(|s| s.wip.as_mut()) {
+                w.clock.on_switch(e.time, *prev_pid, *next_pid, pid);
+            }
+        }
+    }
+
+    /// The per-node callback lists for everything fed so far, sorted by
+    /// PID, empty lists omitted — exactly what batch
+    /// [`crate::synthesize_per_node`] returns for the same events.
+    ///
+    /// Pending instances are resolved against the current interaction
+    /// tables without consuming them (a response still awaiting its
+    /// dispatch decorates as `unknown`, as batch extraction would on a
+    /// trace cut at this point); feeding may continue afterwards.
+    pub fn callback_lists(&self) -> Vec<(Pid, CbList)> {
+        let mut lists = Vec::new();
+        for (&pid, st) in &self.nodes {
+            let mut list = st.list.clone();
+            for p in &st.pending {
+                let outs = p
+                    .outs
+                    .iter()
+                    .map(|slot| match slot {
+                        OutSlot::Ready(s) => s.clone(),
+                        OutSlot::AwaitClient { topic, src_ts } => {
+                            let client = self.peek_client(*src_ts, topic);
+                            let dec =
+                                client.map_or_else(|| UNKNOWN.to_string(), |c| c.to_string());
+                            cat(topic, &dec)
+                        }
+                    })
+                    .collect();
+                list.add_instance(Self::finished_record(pid, p, outs));
+            }
+            if !list.is_empty() {
+                lists.push((pid, list));
+            }
+        }
+        lists
+    }
+
+    /// `FindClient` against the current tables, without committing: the
+    /// first observation known to dispatch.
+    fn peek_client(&self, src_ts: SourceTimestamp, topic: &Topic) -> Option<CallbackId> {
+        let states = self.responses.get(&src_ts)?;
+        let rs = states.iter().find(|r| &r.topic == topic)?;
+        rs.obs.iter().find(|o| o.dispatch == Some(true)).map(|o| o.callback)
+    }
+
+    /// Synthesizes the timing model of everything fed so far, using the
+    /// session's accumulated node-name map. Callable at any point; the
+    /// session can keep consuming segments afterwards.
+    pub fn model(&self) -> Dag {
+        Dag::from_cblists(&self.callback_lists(), &self.names)
+    }
+
+    /// Like [`SynthesisSession::model`], but with an explicitly supplied
+    /// node-name map (for streams whose P1 events live elsewhere).
+    pub fn model_with_names(&self, names: &HashMap<Pid, String>) -> Dag {
+        Dag::from_cblists(&self.callback_lists(), names)
+    }
+
+    /// Number of segments fed so far.
+    pub fn segments_fed(&self) -> usize {
+        self.segments_fed
+    }
+
+    /// Total events (both streams) fed so far.
+    pub fn events_fed(&self) -> u64 {
+        self.events_fed
+    }
+
+    /// The largest single segment fed so far, in events.
+    pub fn peak_segment_events(&self) -> usize {
+        self.peak_segment_events
+    }
+
+    /// Derived entries currently retained across segment boundaries: open
+    /// and pending instances, unmatched request writes, and open response
+    /// keys (with their observations). This — not the events themselves —
+    /// is all the session keeps between segments.
+    pub fn retained_entries(&self) -> usize {
+        let instances: usize = self
+            .nodes
+            .values()
+            .map(|s| s.pending.len() + usize::from(s.wip.is_some()))
+            .sum();
+        let writes: usize = self.writes.values().map(Vec::len).sum();
+        let responses: usize = self
+            .responses
+            .values()
+            .map(|v| v.iter().map(|r| r.obs.len() + 1).sum::<usize>())
+            .sum();
+        instances + writes + responses
+    }
+
+    /// Peak memory watermark, in event-equivalents: the maximum over all
+    /// feeds of segment size plus retained derived entries. For a bounded
+    /// segment size this stays bounded no matter how long the run is —
+    /// the property the `streaming` experiment asserts.
+    pub fn peak_watermark(&self) -> usize {
+        self.peak_watermark
+    }
+}
+
+impl rtms_trace::EventSink for SynthesisSession {
+    fn push_ros(&mut self, event: RosEvent) {
+        rtms_trace::EventSink::push_ros(&mut self.buffer, event);
+    }
+    fn push_sched(&mut self, event: SchedEvent) {
+        rtms_trace::EventSink::push_sched(&mut self.buffer, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthesis::synthesize;
+    use rtms_trace::{split_by_events, Cpu, Priority, ThreadState};
+
+    fn ros(ms: u64, pid: u32, payload: RosPayload) -> RosEvent {
+        RosEvent::new(Nanos::from_millis(ms), Pid::new(pid), payload)
+    }
+
+    fn sw(ms: u64, prev: u32, next: u32) -> SchedEvent {
+        SchedEvent::switch(
+            Nanos::from_millis(ms),
+            Cpu::new(0),
+            Pid::new(prev),
+            Priority::NORMAL,
+            ThreadState::Runnable,
+            Pid::new(next),
+            Priority::NORMAL,
+        )
+    }
+
+    /// A trace exercising every cross-segment hazard: a preempted timer
+    /// callback, a two-node service interaction (request decoration via
+    /// the write table, response decoration via the dispatch decision),
+    /// and an undispatched client instance.
+    fn service_trace() -> Trace {
+        let rq = || Topic::service_request("/sv");
+        let rs = || Topic::service_response("/sv");
+        let mut t = Trace::new();
+        t.push_ros(ros(0, 1, RosPayload::NodeInit { node_name: "caller".into() }));
+        t.push_ros(ros(0, 3, RosPayload::NodeInit { node_name: "server".into() }));
+        // Timer on pid 1 calls the service; preempted 2..4.
+        t.push_ros(ros(1, 1, RosPayload::CallbackStart { kind: CallbackKind::Timer }));
+        t.push_ros(ros(1, 1, RosPayload::TimerCall { callback: CallbackId::new(0x11) }));
+        t.push_sched(sw(2, 1, 9));
+        t.push_sched(sw(4, 9, 1));
+        t.push_ros(ros(5, 1, RosPayload::DdsWrite {
+            topic: rq(),
+            src_ts: SourceTimestamp::new(100),
+        }));
+        t.push_ros(ros(5, 1, RosPayload::CallbackEnd { kind: CallbackKind::Timer }));
+        // Server handles the request and responds.
+        t.push_ros(ros(6, 3, RosPayload::CallbackStart { kind: CallbackKind::Service }));
+        t.push_ros(ros(6, 3, RosPayload::TakeRequest {
+            callback: CallbackId::new(0x33),
+            topic: rq(),
+            src_ts: SourceTimestamp::new(100),
+        }));
+        t.push_ros(ros(8, 3, RosPayload::DdsWrite {
+            topic: rs(),
+            src_ts: SourceTimestamp::new(200),
+        }));
+        t.push_ros(ros(8, 3, RosPayload::CallbackEnd { kind: CallbackKind::Service }));
+        // Client instance on pid 1: dispatched.
+        t.push_ros(ros(9, 1, RosPayload::CallbackStart { kind: CallbackKind::Client }));
+        t.push_ros(ros(9, 1, RosPayload::TakeResponse {
+            callback: CallbackId::new(0x21),
+            topic: rs(),
+            src_ts: SourceTimestamp::new(200),
+        }));
+        t.push_ros(ros(9, 1, RosPayload::ClientDispatch { will_dispatch: true }));
+        t.push_ros(ros(10, 1, RosPayload::CallbackEnd { kind: CallbackKind::Client }));
+        // A second, undispatched client instance on pid 2.
+        t.push_ros(ros(9, 2, RosPayload::CallbackStart { kind: CallbackKind::Client }));
+        t.push_ros(ros(9, 2, RosPayload::TakeResponse {
+            callback: CallbackId::new(0x22),
+            topic: rs(),
+            src_ts: SourceTimestamp::new(200),
+        }));
+        t.push_ros(ros(9, 2, RosPayload::ClientDispatch { will_dispatch: false }));
+        t.push_ros(ros(9, 2, RosPayload::CallbackEnd { kind: CallbackKind::Client }));
+        t.sort_by_time();
+        t
+    }
+
+    #[test]
+    fn one_event_segments_equal_batch() {
+        let trace = service_trace();
+        let batch = synthesize(&trace);
+        for per_segment in [1usize, 2, 3, 5, 1000] {
+            let mut session = SynthesisSession::new();
+            for seg in split_by_events(&trace, per_segment) {
+                session.feed_segment(&seg);
+            }
+            assert_eq!(session.model(), batch, "segment size {per_segment}");
+        }
+    }
+
+    #[test]
+    fn model_at_any_point_equals_batch_on_prefix() {
+        let trace = service_trace();
+        let segments = split_by_events(&trace, 4);
+        let mut session = SynthesisSession::new();
+        let mut prefix = Trace::new();
+        for seg in &segments {
+            session.feed_segment(seg);
+            for e in seg.ros_events() {
+                prefix.push_ros(e.clone());
+            }
+            for e in seg.sched_events() {
+                prefix.push_sched(e.clone());
+            }
+            assert_eq!(session.model(), synthesize(&prefix));
+        }
+        // Calling model() must not disturb subsequent feeding: final model
+        // still matches the full batch.
+        assert_eq!(session.model(), synthesize(&trace));
+    }
+
+    #[test]
+    fn preemption_measured_across_boundaries() {
+        let trace = service_trace();
+        let mut session = SynthesisSession::new();
+        for seg in split_by_events(&trace, 1) {
+            session.feed_segment(&seg);
+        }
+        let lists = session.callback_lists();
+        let (_, caller) = lists.iter().find(|(p, _)| *p == Pid::new(1)).expect("pid 1");
+        let timer = caller
+            .entries()
+            .iter()
+            .find(|e| e.kind == CallbackKind::Timer)
+            .expect("timer entry");
+        // Window [1,5] ms minus preemption [2,4) = 2 ms.
+        assert_eq!(timer.stats.mwcet(), Some(Nanos::from_millis(2)));
+        assert_eq!(timer.out_topics, vec!["/svRequest#cb:0x11".to_string()]);
+    }
+
+    #[test]
+    fn request_and_response_decorations_resolve_across_segments() {
+        let trace = service_trace();
+        let mut session = SynthesisSession::new();
+        for seg in split_by_events(&trace, 1) {
+            session.feed_segment(&seg);
+        }
+        let lists = session.callback_lists();
+        let (_, server) = lists.iter().find(|(p, _)| *p == Pid::new(3)).expect("pid 3");
+        let sv = &server.entries()[0];
+        assert_eq!(sv.in_topic.as_deref(), Some("/svRequest#cb:0x11"));
+        assert_eq!(sv.out_topics, vec!["/svReply#cb:0x21".to_string()]);
+    }
+
+    #[test]
+    fn tables_drain_once_interactions_complete() {
+        let trace = service_trace();
+        let mut session = SynthesisSession::new();
+        for seg in split_by_events(&trace, 1) {
+            session.feed_segment(&seg);
+        }
+        // Every interaction completed: nothing but closed state remains.
+        assert_eq!(session.retained_entries(), 0);
+        assert_eq!(session.events_fed(), trace.len() as u64);
+        assert!(session.peak_watermark() >= 1);
+        assert_eq!(session.segments_fed(), trace.len());
+    }
+
+    #[test]
+    fn seeded_name_map_is_shared_not_cloned() {
+        let names: Arc<HashMap<Pid, String>> = Arc::new(
+            [(Pid::new(1), "caller".to_string()), (Pid::new(3), "server".to_string())].into(),
+        );
+        let trace = service_trace();
+        let mut session = SynthesisSession::with_names(Arc::clone(&names));
+        session.feed_trace(&trace);
+        // The stream's P1 events agree with the seed map, so the Arc is
+        // still the very same allocation — no copy-on-write happened.
+        assert!(Arc::ptr_eq(session.names(), &names));
+        let mut later = SynthesisSession::with_names(Arc::clone(session.names()));
+        later.feed_segment(&TraceSegment::new());
+        assert!(Arc::ptr_eq(later.names(), &names));
+    }
+
+    #[test]
+    fn new_p1_event_copies_the_map_once() {
+        let names: Arc<HashMap<Pid, String>> = Arc::new(HashMap::new());
+        let mut session = SynthesisSession::with_names(Arc::clone(&names));
+        let mut trace = Trace::new();
+        trace.push_ros(ros(0, 7, RosPayload::NodeInit { node_name: "new".into() }));
+        session.feed_trace(&trace);
+        assert!(!Arc::ptr_eq(session.names(), &names));
+        assert_eq!(session.names().get(&Pid::new(7)).map(String::as_str), Some("new"));
+        assert!(names.is_empty(), "seed map untouched");
+    }
+
+    #[test]
+    fn session_is_an_event_sink_with_flush() {
+        use rtms_trace::EventSink;
+        let trace = service_trace();
+        let mut session = SynthesisSession::new();
+        // Streams arrive back to back, as a tracer drain delivers them.
+        for e in trace.ros_events() {
+            session.push_ros(e.clone());
+        }
+        for e in trace.sched_events() {
+            session.push_sched(e.clone());
+        }
+        session.flush();
+        assert_eq!(session.model(), synthesize(&trace));
+        session.flush(); // idempotent on an empty buffer
+        assert_eq!(session.segments_fed(), 1);
+    }
+}

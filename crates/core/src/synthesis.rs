@@ -1,9 +1,17 @@
 //! Whole-trace model synthesis: the top of the pipeline in Fig. 1.
+//!
+//! The batch entry points here are thin wrappers around the incremental
+//! [`SynthesisSession`] — a whole trace is simply a stream of one segment.
+//! The session walks one shared chronological cursor and keeps per-node
+//! walker state, so synthesis no longer clones and re-sorts the full event
+//! vector once per node.
 
 use crate::cblist::CbList;
 use crate::dag::Dag;
+use crate::session::SynthesisSession;
 use rtms_trace::{Pid, RosPayload, Trace};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Extracts the node-name map (PID → node name) from the P1 events of the
 /// INIT tracer.
@@ -22,13 +30,19 @@ pub fn node_name_map(trace: &Trace) -> HashMap<Pid, String> {
         .collect()
 }
 
+/// Like [`node_name_map`], but shared: hand the `Arc` to any number of
+/// [`SynthesisSession::with_names`] calls (one per later segment stream)
+/// without ever cloning the map itself.
+pub fn node_name_map_shared(trace: &Trace) -> Arc<HashMap<Pid, String>> {
+    Arc::new(node_name_map(trace))
+}
+
 /// Runs Algorithm 1 for every node observed in the trace, returning the
 /// per-node callback lists.
 pub fn synthesize_per_node(trace: &Trace) -> Vec<(Pid, CbList)> {
-    crate::alg1::extract_all(&trace.ros_pids(), trace)
-        .into_iter()
-        .filter(|(_, list)| !list.is_empty())
-        .collect()
+    let mut session = SynthesisSession::new();
+    session.feed_trace(trace);
+    session.callback_lists()
 }
 
 /// Synthesizes the timing model of all applications in the trace: callback
@@ -45,15 +59,18 @@ pub fn synthesize_per_node(trace: &Trace) -> Vec<(Pid, CbList)> {
 /// assert!(dag.vertices().is_empty());
 /// ```
 pub fn synthesize(trace: &Trace) -> Dag {
-    synthesize_with_names(trace, &node_name_map(trace))
+    let mut session = SynthesisSession::new();
+    session.feed_trace(trace);
+    session.model()
 }
 
 /// Like [`synthesize`], but with an explicitly supplied node-name map —
 /// required for trace segments collected after the INIT tracer stopped
 /// (their P1 events live in an earlier segment).
 pub fn synthesize_with_names(trace: &Trace, names: &HashMap<Pid, String>) -> Dag {
-    let lists = synthesize_per_node(trace);
-    Dag::from_cblists(&lists, names)
+    let mut session = SynthesisSession::new();
+    session.feed_trace(trace);
+    session.model_with_names(names)
 }
 
 #[cfg(test)]

@@ -34,6 +34,8 @@
 //! exit call, and the RT tracer reconstructs them with the
 //! store-the-address-in-a-map technique the paper describes.
 
+#![warn(missing_docs)]
+
 pub mod call;
 pub mod map;
 pub mod overhead;

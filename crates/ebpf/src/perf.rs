@@ -1,6 +1,6 @@
 //! The perf ring buffer through which probe programs export events.
 
-use rtms_trace::{RosEvent, SchedEvent};
+use rtms_trace::{EventSink, RosEvent, SchedEvent};
 use std::collections::VecDeque;
 
 /// A record that can be pushed into a [`PerfBuffer`].
@@ -8,17 +8,29 @@ pub trait PerfRecord {
     /// Size of the encoded record in bytes, charged against the buffer
     /// capacity.
     fn record_size(&self) -> usize;
+
+    /// Routes this record into the matching stream of an [`EventSink`]
+    /// (user space demultiplexing the perf ring by record type).
+    fn sink_into(self, sink: &mut dyn EventSink);
 }
 
 impl PerfRecord for RosEvent {
     fn record_size(&self) -> usize {
         self.encoded_size()
     }
+
+    fn sink_into(self, sink: &mut dyn EventSink) {
+        sink.push_ros(self);
+    }
 }
 
 impl PerfRecord for SchedEvent {
     fn record_size(&self) -> usize {
         self.encoded_size()
+    }
+
+    fn sink_into(self, sink: &mut dyn EventSink) {
+        sink.push_sched(self);
     }
 }
 
@@ -97,6 +109,16 @@ impl<T: PerfRecord> PerfBuffer<T> {
     pub fn drain(&mut self) -> Vec<T> {
         self.used_bytes = 0;
         self.records.drain(..).collect()
+    }
+
+    /// Drains all buffered records in FIFO order directly into an
+    /// [`EventSink`] — the streaming counterpart of [`PerfBuffer::drain`],
+    /// with no intermediate vector.
+    pub fn drain_into(&mut self, sink: &mut dyn EventSink) {
+        self.used_bytes = 0;
+        for record in self.records.drain(..) {
+            record.sink_into(sink);
+        }
     }
 
     /// Number of buffered records.
@@ -197,5 +219,29 @@ mod tests {
     #[should_panic]
     fn zero_capacity_rejected() {
         let _: PerfBuffer<RosEvent> = PerfBuffer::new(0);
+    }
+
+    #[test]
+    fn drain_into_routes_by_record_type() {
+        use rtms_trace::{Cpu, Priority, SchedEvent, ThreadState, Trace};
+        let mut ros_buf = PerfBuffer::new(1 << 10);
+        ros_buf.push(ev());
+        let mut sched_buf = PerfBuffer::new(1 << 10);
+        sched_buf.push(SchedEvent::switch(
+            Nanos::ZERO,
+            Cpu::new(0),
+            Pid::new(1),
+            Priority::NORMAL,
+            ThreadState::Runnable,
+            Pid::new(2),
+            Priority::NORMAL,
+        ));
+        let mut trace = Trace::new();
+        ros_buf.drain_into(&mut trace);
+        sched_buf.drain_into(&mut trace);
+        assert_eq!(trace.ros_events().len(), 1);
+        assert_eq!(trace.sched_events().len(), 1);
+        assert!(ros_buf.is_empty() && sched_buf.is_empty());
+        assert!(ros_buf.push(ev()), "space reclaimed after drain_into");
     }
 }

@@ -101,6 +101,11 @@ impl Ros2InitTracer {
         self.perf.drain()
     }
 
+    /// Drains the buffered events directly into an event sink.
+    pub fn drain_segment_into(&mut self, sink: &mut dyn rtms_trace::EventSink) {
+        self.perf.drain_into(sink);
+    }
+
     /// The overhead accounting of this tracer's probe.
     pub fn overhead(&self) -> &OverheadModel {
         &self.overhead

@@ -155,6 +155,11 @@ impl KernelTracer {
         self.perf.drain()
     }
 
+    /// Drains the buffered events directly into an event sink.
+    pub fn drain_segment_into(&mut self, sink: &mut dyn rtms_trace::EventSink) {
+        self.perf.drain_into(sink);
+    }
+
     /// Scheduler events observed by the handler (filtered or not).
     pub fn seen(&self) -> u64 {
         self.seen

@@ -264,6 +264,11 @@ impl Ros2RtTracer {
         self.perf.drain()
     }
 
+    /// Drains the buffered events directly into an event sink.
+    pub fn drain_segment_into(&mut self, sink: &mut dyn rtms_trace::EventSink) {
+        self.perf.drain_into(sink);
+    }
+
     /// Perf-buffer statistics.
     pub fn perf(&self) -> &PerfBuffer<RosEvent> {
         &self.perf

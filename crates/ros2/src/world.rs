@@ -9,7 +9,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rtms_ebpf::{FunctionArgs, FunctionCall, OverheadModel, OverheadReport};
 use rtms_sched::{Affinity, PeriodicLoad, SchedSink, Simulator, SimulatorBuilder};
-use rtms_trace::{CallbackId, CallbackKind, Nanos, Pid, Priority, SchedEvent, Topic, Trace};
+use rtms_trace::{
+    CallbackId, CallbackKind, EventSink, Nanos, Pid, Priority, SchedEvent, Topic, Trace,
+    TraceSegment,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -343,7 +346,8 @@ impl WorldBuilder {
 /// (TR_IN active during startup), then alternate
 /// [`Ros2World::start_runtime_tracers`] / [`Ros2World::run_for`] /
 /// [`Ros2World::collect_segment`] — or use [`Ros2World::trace_run`] for the
-/// whole cycle.
+/// whole cycle, and [`Ros2World::trace_segments`] to stream a long run as
+/// bounded segments.
 pub struct Ros2World {
     sim: Simulator,
     world: Rc<RefCell<WorldState>>,
@@ -398,32 +402,78 @@ impl Ros2World {
         self.sim.now()
     }
 
+    /// Drains all tracer buffers into the given event sink (INIT events
+    /// first, then runtime, then scheduler events — each stream in FIFO
+    /// order). The sink decides what to do with them: accumulate a
+    /// [`Trace`], fill a bounded [`TraceSegment`], or consume them online.
+    pub fn collect_segment_into(&mut self, sink: &mut dyn EventSink) {
+        let mut w = self.world.borrow_mut();
+        w.tracers.init.drain_segment_into(sink);
+        w.tracers.rt.drain_segment_into(sink);
+        w.tracers.kernel.drain_segment_into(sink);
+    }
+
     /// Drains all tracer buffers into one chronologically sorted trace
     /// segment.
     pub fn collect_segment(&mut self) -> Trace {
-        let mut w = self.world.borrow_mut();
         let mut trace = Trace::new();
-        for ev in w.tracers.init.drain_segment() {
-            trace.push_ros(ev);
-        }
-        for ev in w.tracers.rt.drain_segment() {
-            trace.push_ros(ev);
-        }
-        for ev in w.tracers.kernel.drain_segment() {
-            trace.push_sched(ev);
-        }
+        self.collect_segment_into(&mut trace);
         trace.sort_by_time();
         trace
     }
 
-    /// Convenience: announce nodes, trace one run of `duration`, and return
-    /// the collected segment.
-    pub fn trace_run(&mut self, duration: Nanos) -> Trace {
+    /// Streams one traced run of `duration` into `sink`: announce nodes,
+    /// start the runtime tracers, simulate, stop, and drain every tracer
+    /// buffer into the sink. Events arrive in drain order; sort afterwards
+    /// if the sink accumulates and chronological order is required.
+    pub fn trace_into(&mut self, sink: &mut dyn EventSink, duration: Nanos) {
         self.announce_nodes();
         self.start_runtime_tracers();
         self.run_for(duration);
         self.stop_runtime_tracers();
-        self.collect_segment()
+        self.collect_segment_into(sink);
+    }
+
+    /// Convenience: announce nodes, trace one run of `duration`, and return
+    /// the collected segment (a thin wrapper over [`Ros2World::trace_into`]
+    /// with a [`Trace`] as the sink).
+    pub fn trace_run(&mut self, duration: Nanos) -> Trace {
+        let mut trace = Trace::new();
+        self.trace_into(&mut trace, duration);
+        trace.sort_by_time();
+        trace
+    }
+
+    /// Traces a run of `total` simulated time as a sequence of bounded
+    /// segments of at most `segment_len` each, following the Fig. 2
+    /// deployment flow: stop the runtime tracers, store the segment,
+    /// restart with empty buffers. Each chronologically sorted
+    /// [`TraceSegment`] (indexed in run order) is handed to `on_segment`
+    /// and then dropped, so a run of any length needs memory proportional
+    /// to one segment, not to the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len` is zero.
+    pub fn trace_segments<F>(&mut self, total: Nanos, segment_len: Nanos, mut on_segment: F)
+    where
+        F: FnMut(TraceSegment),
+    {
+        assert!(segment_len > Nanos::ZERO, "segment length must be positive");
+        self.announce_nodes();
+        let end = self.now() + total;
+        let mut index = 0;
+        while self.now() < end {
+            let step = segment_len.min(end - self.now());
+            self.start_runtime_tracers();
+            self.run_for(step);
+            self.stop_runtime_tracers();
+            let mut segment = TraceSegment::with_index(index);
+            self.collect_segment_into(&mut segment);
+            segment.sort_by_time();
+            on_segment(segment);
+            index += 1;
+        }
     }
 
     /// The PID of a node's executor thread.

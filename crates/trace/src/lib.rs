@@ -32,6 +32,7 @@ pub mod ids;
 pub mod probe;
 pub mod sched_event;
 pub mod session;
+pub mod sink;
 pub mod store;
 pub mod time;
 pub mod topic;
@@ -42,6 +43,7 @@ pub use ids::{CallbackId, Cpu, Pid, Priority};
 pub use probe::{Probe, ProbeAttachment, ProbeSpec, PROBE_CATALOG};
 pub use sched_event::{SchedEvent, SchedEventKind, ThreadState};
 pub use session::{TraceDatabase, TraceSession};
+pub use sink::{split_by_events, EventSink, SegmentCursor, SegmentEvent, TraceSegment};
 pub use store::TraceStore;
 pub use time::Nanos;
 pub use topic::{SourceTimestamp, Topic, TopicKind};

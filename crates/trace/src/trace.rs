@@ -46,6 +46,17 @@ impl Trace {
         Trace { ros_events, sched_events }
     }
 
+    /// Decomposes the trace into its `(ros_events, sched_events)` vectors.
+    pub fn into_events(self) -> (Vec<RosEvent>, Vec<SchedEvent>) {
+        (self.ros_events, self.sched_events)
+    }
+
+    /// A chronological cursor over both event streams merged by timestamp
+    /// (see [`crate::sink::SegmentCursor`] for the ordering contract).
+    pub fn cursor(&self) -> crate::sink::SegmentCursor<'_> {
+        crate::sink::SegmentCursor::over(&self.ros_events, &self.sched_events)
+    }
+
     /// Appends a ROS2 event.
     pub fn push_ros(&mut self, event: RosEvent) {
         self.ros_events.push(event);

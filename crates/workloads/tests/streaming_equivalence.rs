@@ -1,0 +1,72 @@
+//! Streaming/batch equivalence over generated applications.
+//!
+//! For any segmentation of the same event stream, a `SynthesisSession` fed
+//! the segments must produce a model *byte-identical* (compared as
+//! serialized JSON) to batch `synthesize` on the whole trace — including
+//! one-event segments, which put every instance window, service
+//! interaction, and execution-time measurement across a boundary. The
+//! batch entry point itself is additionally pinned against the original
+//! per-node extraction pipeline (`extract_callbacks`), which is kept as an
+//! independent reference implementation.
+
+use proptest::prelude::*;
+use rtms_core::{extract_callbacks, node_name_map, synthesize, Dag, SynthesisSession};
+use rtms_ros2::WorldBuilder;
+use rtms_trace::{split_by_events, Nanos, Trace};
+use rtms_workloads::{generate_app, GeneratorConfig};
+
+fn json(dag: &Dag) -> String {
+    serde_json::to_string(dag).expect("model serializes")
+}
+
+/// The original batch pipeline — per-node extraction over a private event
+/// index — as the reference the session-backed path must reproduce.
+fn reference_model(trace: &Trace) -> Dag {
+    let lists: Vec<_> = trace
+        .ros_pids()
+        .into_iter()
+        .map(|pid| (pid, extract_callbacks(pid, trace)))
+        .filter(|(_, list)| !list.is_empty())
+        .collect();
+    Dag::from_cblists(&lists, &node_name_map(trace))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// 100 generated scenarios: batch equals the reference pipeline, and
+    /// the session equals batch for several segment sizes.
+    #[test]
+    fn session_fed_segments_matches_batch(seed in 0u64..1_000_000) {
+        let app = generate_app(seed, &GeneratorConfig::default());
+        let mut world = WorldBuilder::new(8)
+            .seed(seed ^ 0x57ee)
+            .app(app)
+            .build()
+            .expect("generated app deploys");
+        let trace = world.trace_run(Nanos::from_millis(600));
+        prop_assert!(!trace.is_empty(), "seed {seed} produced an empty trace");
+
+        let batch = json(&synthesize(&trace));
+        prop_assert_eq!(
+            &batch,
+            &json(&reference_model(&trace)),
+            "session-backed batch diverged from the reference pipeline (seed {})",
+            seed
+        );
+
+        for per_segment in [1usize, 13, 256] {
+            let mut session = SynthesisSession::new();
+            for segment in split_by_events(&trace, per_segment) {
+                session.feed_segment(&segment);
+            }
+            prop_assert_eq!(
+                &batch,
+                &json(&session.model()),
+                "streamed model diverged at segment size {} (seed {})",
+                per_segment,
+                seed
+            );
+        }
+    }
+}

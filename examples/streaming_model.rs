@@ -1,0 +1,61 @@
+//! Streaming synthesis: trace a long run as bounded segments and keep a
+//! live timing model the whole way — without ever materializing the full
+//! trace.
+//!
+//! Run with: `cargo run --example streaming_model`
+
+use ros2_tms::ros2::{AppBuilder, WorkModel, WorldBuilder};
+use ros2_tms::synthesis::SynthesisSession;
+use ros2_tms::trace::Nanos;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 20 Hz sensor pipeline we want to model over a long horizon.
+    let mut app = AppBuilder::new("streaming-demo");
+    let sensor = app.node("sensor");
+    app.timer(sensor, "sample", Nanos::from_millis(50), WorkModel::constant_millis(1.0))
+        .publishes("/samples");
+    let filter = app.node("filter");
+    app.subscriber(filter, "smooth", "/samples", WorkModel::bounded_millis(2.0, 3.0, 6.0))
+        .publishes("/smoothed");
+    let mut world = WorldBuilder::new(2).seed(3).app(app.build()?).build()?;
+
+    // Stream 10 simulated seconds as 500 ms segments. Each segment is fed
+    // to the session and dropped; the session carries only derived state
+    // (open instances, unmatched service interactions) across boundaries.
+    let mut session = SynthesisSession::new();
+    world.trace_segments(Nanos::from_secs(10), Nanos::from_millis(500), |segment| {
+        session.feed_segment(&segment);
+        if (segment.index() + 1) % 5 == 0 {
+            // The model is available at any point mid-run.
+            let model = session.model();
+            println!(
+                "after {:>2} segments: {} vertices, {} edges, {} events seen, {} entries retained",
+                segment.index() + 1,
+                model.vertices().len(),
+                model.edges().len(),
+                session.events_fed(),
+                session.retained_entries(),
+            );
+        }
+    });
+
+    let model = session.model();
+    println!();
+    println!(
+        "final model: {} vertices / {} edges from {} events; peak watermark {} event-equivalents",
+        model.vertices().len(),
+        model.edges().len(),
+        session.events_fed(),
+        session.peak_watermark(),
+    );
+    for id in model.vertex_ids() {
+        let v = model.vertex(id);
+        println!(
+            "  {:<22} {:<11} mACET {:>7}",
+            v.node,
+            v.kind.to_string(),
+            v.stats.macet().map_or_else(|| "-".into(), |t| format!("{:.2} ms", t.as_millis_f64())),
+        );
+    }
+    Ok(())
+}
