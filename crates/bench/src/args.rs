@@ -15,7 +15,9 @@
 //!
 //! Binary-specific keys (e.g. the scaling experiment's `apps`/`nodes`) are
 //! declared per binary and validated: an unknown key is a usage error, not
-//! silently ignored.
+//! silently ignored. Every binary additionally accepts `help` (also
+//! `help=…`, `--help`, `-h`), which prints its documented key list and
+//! exits successfully.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -66,6 +68,10 @@ pub enum ArgError {
     },
     /// A key this binary does not declare.
     UnknownKey(String),
+    /// The user asked for the key list (`help`, `help=…`, `--help`, `-h`).
+    /// Not an error condition: [`ExperimentArgs::parse_or_exit`] prints
+    /// the usage line and exits with status 0.
+    Help,
 }
 
 impl fmt::Display for ArgError {
@@ -76,6 +82,7 @@ impl fmt::Display for ArgError {
                 write!(f, "value {value:?} for key {key:?} does not parse")
             }
             ArgError::UnknownKey(k) => write!(f, "unknown key {k:?}"),
+            ArgError::Help => write!(f, "help requested"),
         }
     }
 }
@@ -111,10 +118,16 @@ impl ExperimentArgs {
     }
 
     /// Like [`ExperimentArgs::parse`], but exits with the usage line and
-    /// status 2 on error — the behaviour every binary wants.
+    /// status 2 on error — the behaviour every binary wants. A `help` key
+    /// (also `help=…`, `--help`, `-h`) instead prints the binary's
+    /// documented key list on stdout and exits with status 0.
     pub fn parse_or_exit(usage: &str, defaults: Defaults, extra_keys: &[&str]) -> ExperimentArgs {
         match ExperimentArgs::parse(defaults, extra_keys) {
             Ok(a) => a,
+            Err(ArgError::Help) => {
+                println!("usage: {usage}");
+                std::process::exit(0);
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!("usage: {usage}");
@@ -141,6 +154,9 @@ impl ExperimentArgs {
         let mut map: HashMap<String, String> = HashMap::new();
         for a in args {
             let a = a.as_ref();
+            if a == "help" || a == "--help" || a == "-h" || a.starts_with("help=") {
+                return Err(ArgError::Help);
+            }
             let (k, v) = a
                 .split_once('=')
                 .ok_or_else(|| ArgError::Malformed(a.to_string()))?;
@@ -300,6 +316,23 @@ mod tests {
         assert_eq!(a.extra_u64("apps", 1), 3);
         assert!((a.extra_f64("load", 1.0) - 0.5).abs() < 1e-12);
         assert_eq!(a.extra_u64("nodes", 6), 6);
+    }
+
+    #[test]
+    fn help_is_recognized_in_every_spelling() {
+        for spelling in ["help", "help=1", "help=anything", "--help", "-h"] {
+            assert_eq!(
+                ExperimentArgs::from_iter([spelling], D, &[]).unwrap_err(),
+                ArgError::Help,
+                "{spelling} must request help"
+            );
+        }
+        // Even alongside other keys.
+        assert_eq!(
+            ExperimentArgs::from_iter(["runs=3", "help"], D, &[]).unwrap_err(),
+            ArgError::Help
+        );
+        assert!(ArgError::Help.to_string().contains("help"));
     }
 
     #[test]

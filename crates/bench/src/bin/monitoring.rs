@@ -1,0 +1,253 @@
+//! Online monitoring experiment: drive generated fault scenarios through
+//! the streaming pipeline and score the monitor against ground truth.
+//!
+//! For each of `apps` scenarios (seeds `seed..seed+apps`), a random
+//! application with `faults` injected faults (slowdown / timer stutter /
+//! muted publisher, activating just after the baseline phase) is traced as
+//! `segment_ms` segments for `secs` simulated seconds. The first third of
+//! the segments (at least two) feed a cumulative `SynthesisSession` whose
+//! model becomes the healthy `Baseline`; every later segment is
+//! synthesized into a per-window snapshot and fed to the `Monitor`. The
+//! report scores detection latency (in segments), precision, and recall
+//! of the emitted alert stream against the injected ground truth — and
+//! asserts full recall with latency ≤ 2 segments, the contract the
+//! monitor subsystem is built around.
+//!
+//! Usage: `cargo run --release -p rtms-bench --bin monitoring --
+//! [secs=12] [segment_ms=500] [apps=4] [faults=2] [seed=0]
+//! [format=text|json]`
+
+use rtms_bench::{Defaults, ExperimentArgs};
+use rtms_ros2::WorldBuilder;
+use rtms_trace::Nanos;
+use rtms_workloads::{generate_fault_scenario, monitor_run, ExpectedAlert, FaultScenarioConfig};
+use serde::Serialize;
+
+/// One scored fault of one scenario.
+#[derive(Serialize)]
+struct FaultReport {
+    callback: String,
+    vertex_key: String,
+    kind: String,
+    expected_alert: &'static str,
+    at_ms: f64,
+    fault_segment: usize,
+    detected: bool,
+    latency_segments: Option<usize>,
+    alert: Option<String>,
+}
+
+/// One scenario (one generated app with faults).
+#[derive(Serialize)]
+struct AppReport {
+    seed: u64,
+    nodes: usize,
+    callbacks: usize,
+    injected: usize,
+    detected: usize,
+    alerts: usize,
+    matched_alerts: usize,
+    faults: Vec<FaultReport>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    secs: u64,
+    segment_ms: u64,
+    apps: u64,
+    faults: u64,
+    seed: u64,
+    baseline_segments: usize,
+    monitored_segments: usize,
+    injected_total: usize,
+    detected_total: usize,
+    alerts_total: usize,
+    true_positive_alerts: usize,
+    precision: f64,
+    recall: f64,
+    mean_latency_segments: f64,
+    max_latency_segments: usize,
+    per_app: Vec<AppReport>,
+}
+
+fn expected_name(e: ExpectedAlert) -> &'static str {
+    match e {
+        ExpectedAlert::ExecDrift => "exec_drift",
+        ExpectedAlert::PeriodDrift => "period_drift",
+        ExpectedAlert::TopologyChange => "topology_change",
+    }
+}
+
+fn main() {
+    let args = ExperimentArgs::parse_or_exit(
+        "monitoring [secs=12] [segment_ms=500] [apps=4] [faults=2] [seed=0] [format=text|json]",
+        Defaults::single_run(12, 0),
+        &["segment_ms", "apps", "faults"],
+    );
+    let segment_ms = args.extra_u64("segment_ms", 500).max(1);
+    let apps = args.extra_u64("apps", 4).max(1);
+    let faults = args.extra_u64("faults", 2);
+    let segment = Nanos::from_millis(segment_ms);
+
+    let total_segments = ((args.secs() * 1_000).div_ceil(segment_ms) as usize).max(4);
+    let baseline_segments = (total_segments / 3).max(2);
+    let monitored_segments = total_segments - baseline_segments;
+    let baseline_end = Nanos::from_nanos(segment.as_nanos() * baseline_segments as u64);
+    // Faults activate inside the first monitored window, so the ≤2-segment
+    // detection-latency contract is exercised even on short smoke runs.
+    let window = (baseline_end, baseline_end + Nanos::from_nanos(segment.as_nanos() / 4));
+
+    eprintln!(
+        "monitoring: {apps} scenarios x {faults} faults, {} segments of {segment_ms} ms \
+         ({baseline_segments} baseline) ...",
+        total_segments
+    );
+
+    let mut per_app = Vec::new();
+    let (mut injected_total, mut detected_total) = (0usize, 0usize);
+    let (mut alerts_total, mut matched_total) = (0usize, 0usize);
+    let mut latencies: Vec<usize> = Vec::new();
+
+    for a in 0..apps {
+        let scenario_seed = args.seed() + a;
+        let scenario = generate_fault_scenario(
+            scenario_seed,
+            &FaultScenarioConfig::new(faults as usize, window),
+        );
+        let mut world = WorldBuilder::new(4)
+            .seed(scenario_seed)
+            .app(scenario.app.clone())
+            .fault_plan(scenario.plan.clone())
+            .build()
+            .expect("generated scenario is valid");
+        let (_, alerts) = monitor_run(&mut world, segment, baseline_segments, total_segments);
+
+        let mut fault_reports = Vec::new();
+        let mut detected = 0usize;
+        for fault in &scenario.truth {
+            let fault_segment = (fault.at.as_nanos() / segment.as_nanos()) as usize;
+            let hit = alerts
+                .iter()
+                .find(|(seg, alert)| *seg >= fault_segment && fault.is_detected_by(alert));
+            let latency = hit.map(|(seg, _)| seg - fault_segment);
+            if hit.is_some() {
+                detected += 1;
+            }
+            if let Some(l) = latency {
+                latencies.push(l);
+            }
+            fault_reports.push(FaultReport {
+                callback: fault.callback.clone(),
+                vertex_key: fault.vertex_key.clone(),
+                kind: fault.fault.to_string(),
+                expected_alert: expected_name(fault.expected),
+                at_ms: fault.at.as_millis_f64(),
+                fault_segment,
+                detected: hit.is_some(),
+                latency_segments: latency,
+                alert: hit.map(|(_, a)| a.to_string()),
+            });
+        }
+        let matched = alerts
+            .iter()
+            .filter(|(_, alert)| scenario.truth.iter().any(|f| f.accounts_for(alert)))
+            .count();
+
+        injected_total += scenario.truth.len();
+        detected_total += detected;
+        alerts_total += alerts.len();
+        matched_total += matched;
+        per_app.push(AppReport {
+            seed: scenario_seed,
+            nodes: scenario.app.nodes.len(),
+            callbacks: scenario.app.nodes.iter().map(|n| n.callbacks.len()).sum(),
+            injected: scenario.truth.len(),
+            detected,
+            alerts: alerts.len(),
+            matched_alerts: matched,
+            faults: fault_reports,
+        });
+    }
+
+    let report = Report {
+        secs: args.secs(),
+        segment_ms,
+        apps,
+        faults,
+        seed: args.seed(),
+        baseline_segments,
+        monitored_segments,
+        injected_total,
+        detected_total,
+        alerts_total,
+        true_positive_alerts: matched_total,
+        precision: if alerts_total == 0 { 1.0 } else { matched_total as f64 / alerts_total as f64 },
+        recall: if injected_total == 0 {
+            1.0
+        } else {
+            detected_total as f64 / injected_total as f64
+        },
+        mean_latency_segments: if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<usize>() as f64 / latencies.len() as f64
+        },
+        max_latency_segments: latencies.iter().copied().max().unwrap_or(0),
+        per_app,
+    };
+
+    // The contract the subsystem is built around: every injected fault is
+    // caught, with the right alert kind, within two segments.
+    assert!(
+        (report.recall - 1.0).abs() < f64::EPSILON,
+        "missed faults: {} of {} detected",
+        report.detected_total,
+        report.injected_total
+    );
+    assert!(
+        report.max_latency_segments <= 2,
+        "detection latency {} segments exceeds the 2-segment contract",
+        report.max_latency_segments
+    );
+
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+
+    println!(
+        "Monitoring: {} scenarios, {} injected faults, {} baseline + {} monitored segments of {} ms",
+        report.apps, report.injected_total, report.baseline_segments, report.monitored_segments,
+        report.segment_ms
+    );
+    println!();
+    println!("  seed  nodes  cbs  injected  detected  alerts  matched");
+    for app in &report.per_app {
+        println!(
+            "  {:>4}  {:>5}  {:>3}  {:>8}  {:>8}  {:>6}  {:>7}",
+            app.seed, app.nodes, app.callbacks, app.injected, app.detected, app.alerts,
+            app.matched_alerts
+        );
+        for f in &app.faults {
+            println!(
+                "        {} on {} at {:.0} ms (segment {}) -> {} (latency {} segments)",
+                f.kind,
+                f.callback,
+                f.at_ms,
+                f.fault_segment,
+                if f.detected { f.expected_alert } else { "MISSED" },
+                f.latency_segments.map_or_else(|| "-".to_string(), |l| l.to_string()),
+            );
+        }
+    }
+    println!();
+    println!(
+        "recall {:.2}  precision {:.2}  latency mean {:.2} / max {} segments  ({} alerts, {} matched)",
+        report.recall,
+        report.precision,
+        report.mean_latency_segments,
+        report.max_latency_segments,
+        report.alerts_total,
+        report.true_positive_alerts
+    );
+}

@@ -113,30 +113,44 @@ impl Dag {
     /// run to run. This constructor rewrites each `#cb:…` suffix into a
     /// *canonical* callback label (`<node>:<kind>:<base input topic>`),
     /// which is stable across runs, so models from different runs merge
-    /// vertex-for-vertex (Fig. 2, "merge DAGs").
+    /// vertex-for-vertex (Fig. 2, "merge DAGs"). Colliding labels (two
+    /// same-kind callbacks of one node on the same input) are disambiguated
+    /// with a `~n` suffix assigned in callback-ID order — not in
+    /// observation order — so two models extracted from different windows
+    /// of one run label the same callback identically even when the
+    /// callbacks first complete in a different order.
     pub fn from_cblists(lists: &[(Pid, CbList)], node_names: &HashMap<Pid, String>) -> Dag {
         let node_of = |pid: Pid| {
             node_names.get(&pid).cloned().unwrap_or_else(|| format!("pid:{}", pid.get()))
         };
 
-        // Canonical label per callback ID, across all nodes.
+        // Canonical label per callback ID, across all nodes. Suffixes for
+        // colliding base labels are assigned in (label, ID) order.
         let mut canon: HashMap<CallbackId, String> = HashMap::new();
-        let mut used: BTreeMap<String, usize> = BTreeMap::new();
+        let mut labeled: Vec<(String, CallbackId)> = Vec::new();
         for (pid, list) in lists {
             for rec in list.entries() {
+                if canon.contains_key(&rec.id) {
+                    continue;
+                }
+                canon.insert(rec.id, String::new()); // reserve; filled below
                 let base_in = rec
                     .in_topic
                     .as_deref()
                     .map(|t| t.split('#').next().unwrap_or(t).to_string())
                     .unwrap_or_else(|| "-".to_string());
-                let mut label = format!("{}:{}:{}", node_of(*pid), rec.kind, base_in);
-                let n = used.entry(label.clone()).or_insert(0);
-                if *n > 0 {
-                    label = format!("{label}~{n}");
-                }
-                *n += 1;
-                canon.entry(rec.id).or_insert(label);
+                labeled.push((format!("{}:{}:{}", node_of(*pid), rec.kind, base_in), rec.id));
             }
+        }
+        labeled.sort();
+        let mut used: BTreeMap<String, usize> = BTreeMap::new();
+        for (mut label, id) in labeled {
+            let n = used.entry(label.clone()).or_insert(0);
+            if *n > 0 {
+                label = format!("{label}~{n}");
+            }
+            *n += 1;
+            canon.insert(id, label);
         }
         let rewrite = |topic: &str| -> String {
             match topic.split_once("#cb:") {
@@ -417,12 +431,16 @@ impl Dag {
     }
 
     /// Renders the model in Graphviz DOT format, with timing annotations.
+    ///
+    /// Node names and topics are escaped, so a `"` or `\` in a name cannot
+    /// break out of the quoted DOT label it is embedded in.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::from("digraph timing_model {\n  rankdir=LR;\n");
         for (i, v) in self.vertices.iter().enumerate() {
+            let node = dot_escape(&v.node);
             let label = match v.kind {
-                VertexKind::AndJunction => format!("&\\n({})", v.node),
+                VertexKind::AndJunction => format!("&\\n({node})"),
                 VertexKind::Callback(k) => {
                     let timing = match (v.stats.mbcet(), v.stats.macet(), v.stats.mwcet()) {
                         (Some(b), Some(a), Some(w)) => format!(
@@ -434,7 +452,7 @@ impl Dag {
                         _ => String::new(),
                     };
                     let or = if v.or_junction { "\\nOR" } else { "" };
-                    format!("{} {}\\n({}){}{}", k, i, v.node, timing, or)
+                    format!("{} {}\\n({}){}{}", k, i, node, timing, or)
                 }
             };
             let shape = match v.kind {
@@ -444,11 +462,202 @@ impl Dag {
             let _ = writeln!(s, "  v{i} [label=\"{label}\", shape={shape}];");
         }
         for e in &self.edges {
-            let _ = writeln!(s, "  v{} -> v{} [label=\"{}\"];", e.from.0, e.to.0, e.topic);
+            let _ = writeln!(
+                s,
+                "  v{} -> v{} [label=\"{}\"];",
+                e.from.0,
+                e.to.0,
+                dot_escape(&e.topic)
+            );
         }
         s.push_str("}\n");
         s
     }
+
+    /// The structural summary of this model: vertex merge keys and edges
+    /// as key triples, with multiplicity. The input to [`diff`].
+    pub fn topology(&self) -> Topology {
+        let mut vertices: Vec<String> = self.vertices.iter().map(DagVertex::merge_key).collect();
+        let keys = vertices.clone(); // index-aligned before sorting
+        vertices.sort();
+        let mut edges: Vec<TopologyEdge> = self
+            .edges
+            .iter()
+            .map(|e| TopologyEdge {
+                from: keys[e.from.0].clone(),
+                to: keys[e.to.0].clone(),
+                topic: e.topic.clone(),
+            })
+            .collect();
+        edges.sort();
+        Topology { vertices, edges }
+    }
+}
+
+/// Escapes a string for embedding inside a double-quoted DOT label.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// A structural summary of a [`Dag`]: the sorted multiset of vertex merge
+/// keys and of edges (as `(from key, to key, topic)` triples). Two models
+/// of the same application — e.g. two observation windows of one run —
+/// have equal topologies even though their timing annotations differ.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Sorted vertex merge keys. Duplicates are kept: two distinct
+    /// callbacks with the same merge key count twice.
+    pub vertices: Vec<String>,
+    /// Sorted edge triples.
+    pub edges: Vec<TopologyEdge>,
+}
+
+impl Topology {
+    /// An order-independent FNV-1a fingerprint of the topology, for cheap
+    /// equality checks and logging.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for v in &self.vertices {
+            eat(v.as_bytes());
+            eat(&[0xff]);
+        }
+        for e in &self.edges {
+            eat(e.from.as_bytes());
+            eat(&[0xfe]);
+            eat(e.to.as_bytes());
+            eat(&[0xfe]);
+            eat(e.topic.as_bytes());
+            eat(&[0xff]);
+        }
+        h
+    }
+
+    /// Removes elements whose identity is unresolved: vertices decorated
+    /// `#unknown` (Algorithm 1's `FindCaller`/`FindClient` fallback when a
+    /// trace cut leaves a service interaction's peer undetermined) and the
+    /// edges touching them. A model synthesized from a bounded window can
+    /// contain such elements for interactions straddling the window edge;
+    /// comparing *sanitized* topologies avoids phantom structural diffs at
+    /// window boundaries.
+    pub fn without_unresolved(&self) -> Topology {
+        let marker = format!("#{}", crate::alg1::UNKNOWN);
+        Topology {
+            vertices: self.vertices.iter().filter(|v| !v.contains(&marker)).cloned().collect(),
+            edges: self
+                .edges
+                .iter()
+                .filter(|e| {
+                    !e.from.contains(&marker)
+                        && !e.to.contains(&marker)
+                        && !e.topic.contains(&marker)
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The structural difference from `self` (the old model) to `new`:
+    /// multiset differences of vertex keys and edge triples.
+    pub fn diff_to(&self, new: &Topology) -> ModelDiff {
+        ModelDiff {
+            added_vertices: multiset_sub(&new.vertices, &self.vertices),
+            missing_vertices: multiset_sub(&self.vertices, &new.vertices),
+            added_edges: multiset_sub(&new.edges, &self.edges),
+            missing_edges: multiset_sub(&self.edges, &new.edges),
+        }
+    }
+}
+
+/// An edge of a [`Topology`]: data flow between two vertices identified by
+/// their merge keys.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TopologyEdge {
+    /// Merge key of the producer vertex.
+    pub from: String,
+    /// Merge key of the consumer vertex.
+    pub to: String,
+    /// The (decorated) topic carrying the data.
+    pub topic: String,
+}
+
+/// The structural difference between two models, as computed by [`diff`]:
+/// which vertices and edges appeared and which disappeared, identified by
+/// merge key. Element counts respect multiplicity — if a merge key occurs
+/// twice in the old model and once in the new one, it is listed once under
+/// `missing_vertices`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelDiff {
+    /// Vertex keys present in the new model but not the old one.
+    pub added_vertices: Vec<String>,
+    /// Vertex keys present in the old model but not the new one.
+    pub missing_vertices: Vec<String>,
+    /// Edges present in the new model but not the old one.
+    pub added_edges: Vec<TopologyEdge>,
+    /// Edges present in the old model but not the new one.
+    pub missing_edges: Vec<TopologyEdge>,
+}
+
+impl ModelDiff {
+    /// Whether the two models are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.added_vertices.is_empty()
+            && self.missing_vertices.is_empty()
+            && self.added_edges.is_empty()
+            && self.missing_edges.is_empty()
+    }
+
+    /// Total number of differing elements across all four lists.
+    pub fn len(&self) -> usize {
+        self.added_vertices.len()
+            + self.missing_vertices.len()
+            + self.added_edges.len()
+            + self.missing_edges.len()
+    }
+}
+
+/// Structural comparison of two models (old → new): vertices and edges
+/// that appeared or disappeared, by merge key. This is the model-level
+/// primitive behind runtime drift monitoring (`rtms-monitor`).
+pub fn diff(old: &Dag, new: &Dag) -> ModelDiff {
+    old.topology().diff_to(&new.topology())
+}
+
+/// Multiset difference `a - b` of two *sorted* slices.
+fn multiset_sub<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        if j == b.len() {
+            out.extend_from_slice(&a[i..]);
+            break;
+        }
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -640,6 +849,128 @@ mod tests {
         assert!(dot.contains("digraph"));
         assert!(dot.contains("v0 -> v1"), "{dot}");
         assert!(dot.contains("/a"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_and_backslashes() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a\"];evil"], false)])),
+            (
+                Pid::new(2),
+                list(vec![rec(2, 2, CallbackKind::Subscriber, Some("/a\"];evil"), &[], false)]),
+            ),
+        ];
+        let dag =
+            Dag::from_cblists(&lists, &names(&[(1, "n\"1"), (2, "n\\2")]));
+        let dot = dag.to_dot();
+        assert!(dot.contains("n\\\"1"), "quote in node name must be escaped: {dot}");
+        assert!(dot.contains("n\\\\2"), "backslash in node name must be escaped: {dot}");
+        assert!(dot.contains("/a\\\"];evil"), "quote in topic must be escaped: {dot}");
+        // No label's quoted string is terminated early: every line still
+        // ends in the well-formed attribute tail.
+        for line in dot.lines().filter(|l| l.contains("label=")) {
+            assert!(
+                line.ends_with("];"),
+                "label line must stay well-formed: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_label_suffixes_do_not_depend_on_observation_order() {
+        // Two timers of one node share the label base `n1:timer:-`; the ~1
+        // suffix must go to the same callback (the higher ID) regardless of
+        // which one completed first, so per-window models of one run agree.
+        let make = |first: u64, second: u64| {
+            let lists = vec![
+                (
+                    Pid::new(1),
+                    list(vec![
+                        rec(1, first, CallbackKind::Timer, None,
+                            &[&format!("/req#cb:{first:#x}")], false),
+                        rec(1, second, CallbackKind::Timer, None,
+                            &[&format!("/req#cb:{second:#x}")], false),
+                    ]),
+                ),
+                (
+                    Pid::new(2),
+                    list(vec![
+                        rec(2, 9, CallbackKind::Service, Some(&format!("/req#cb:{first:#x}")), &[], false),
+                        rec(2, 9, CallbackKind::Service, Some(&format!("/req#cb:{second:#x}")), &[], false),
+                    ]),
+                ),
+            ];
+            Dag::from_cblists(&lists, &names(&[(1, "n1"), (2, "srv")]))
+        };
+        let a = make(3, 7); // lower ID observed first
+        let b = make(7, 3); // higher ID observed first
+        let mut keys_a: Vec<String> = a.vertices().iter().map(|v| v.merge_key()).collect();
+        let mut keys_b: Vec<String> = b.vertices().iter().map(|v| v.merge_key()).collect();
+        keys_a.sort();
+        keys_b.sort();
+        assert_eq!(keys_a, keys_b, "labels must be assigned in ID order, not observation order");
+    }
+
+    #[test]
+    fn diff_reports_added_and_missing_elements() {
+        let base_lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (Pid::new(2), list(vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], false)])),
+        ];
+        let nm = names(&[(1, "n1"), (2, "n2")]);
+        let old = Dag::from_cblists(&base_lists, &nm);
+        assert!(diff(&old, &old).is_empty());
+        assert_eq!(diff(&old, &old).len(), 0);
+        assert_eq!(old.topology().fingerprint(), old.topology().fingerprint());
+
+        // New model: the subscriber is gone, a fresh timer appeared.
+        let new_lists = vec![
+            (Pid::new(1), list(vec![
+                rec(1, 1, CallbackKind::Timer, None, &["/a"], false),
+                rec(1, 3, CallbackKind::Timer, None, &["/b"], false),
+            ])),
+        ];
+        let new = Dag::from_cblists(&new_lists, &nm);
+        let d = diff(&old, &new);
+        assert_eq!(d.added_vertices, vec!["n1|timer|/b".to_string()]);
+        assert_eq!(d.missing_vertices, vec!["n2|subscriber|/a".to_string()]);
+        assert!(d.added_edges.is_empty());
+        assert_eq!(d.missing_edges.len(), 1, "the /a edge disappeared with its consumer");
+        assert_eq!(d.missing_edges[0].topic, "/a");
+        assert_ne!(old.topology().fingerprint(), new.topology().fingerprint());
+    }
+
+    #[test]
+    fn diff_respects_multiplicity() {
+        // Two same-key subscribers in the old model, one in the new one:
+        // exactly one missing entry.
+        let two = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (Pid::new(2), list(vec![
+                rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], false),
+                rec(2, 3, CallbackKind::Subscriber, Some("/a"), &[], false),
+            ])),
+        ];
+        let one = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (Pid::new(2), list(vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], false)])),
+        ];
+        let nm = names(&[(1, "n1"), (2, "n2")]);
+        let d = diff(&Dag::from_cblists(&two, &nm), &Dag::from_cblists(&one, &nm));
+        assert_eq!(d.missing_vertices, vec!["n2|subscriber|/a".to_string()]);
+        assert!(d.added_vertices.is_empty());
+    }
+
+    #[test]
+    fn topology_serde_round_trip() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (Pid::new(2), list(vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], false)])),
+        ];
+        let topo = Dag::from_cblists(&lists, &names(&[(1, "n1"), (2, "n2")])).topology();
+        let json = serde_json::to_string(&topo).expect("ser");
+        let back: Topology = serde_json::from_str(&json).expect("de");
+        assert_eq!(topo, back);
     }
 
     #[test]

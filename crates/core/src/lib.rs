@@ -38,7 +38,7 @@ pub mod synthesis;
 pub use alg1::extract_callbacks;
 pub use alg2::execution_time;
 pub use cblist::{CallbackRecord, CbList};
-pub use dag::{Dag, DagEdge, DagVertex, VertexId, VertexKind};
+pub use dag::{Dag, DagEdge, DagVertex, ModelDiff, Topology, TopologyEdge, VertexId, VertexKind};
 pub use merge::{merge_dag_refs, merge_dags, ConvergenceSeries};
 pub use multimode::MultiModeDag;
 pub use session::SynthesisSession;

@@ -1,0 +1,167 @@
+//! Typed, severity-ranked monitoring alerts.
+
+use rtms_core::ModelDiff;
+use rtms_trace::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How urgent an alert is. Ordered: `Info < Warning < Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational; no action expected.
+    Info,
+    /// Degradation that merits attention.
+    Warning,
+    /// The model no longer matches the healthy baseline in a way that
+    /// invalidates downstream timing analyses.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Critical => write!(f, "critical"),
+        }
+    }
+}
+
+/// What a [`crate::Monitor`] detected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// A callback's execution time drifted beyond its baseline envelope
+    /// plus tolerance.
+    ExecDrift {
+        /// Merge key of the drifting vertex.
+        key: String,
+        /// Mean execution time observed in the window.
+        observed_macet: Nanos,
+        /// Healthy mean execution time.
+        baseline_macet: Nanos,
+        /// The threshold the observation exceeded.
+        bound: Nanos,
+    },
+    /// A callback's invocation period drifted beyond its baseline plus
+    /// tolerance (timers stuttering or starving).
+    PeriodDrift {
+        /// Merge key of the drifting vertex.
+        key: String,
+        /// Mean start-to-start gap observed in the window.
+        observed_period: Nanos,
+        /// Healthy mean period.
+        baseline_period: Nanos,
+        /// The threshold the observation exceeded.
+        bound: Nanos,
+    },
+    /// The window's model structure diverged from the baseline topology.
+    TopologyChange {
+        /// What appeared and what went missing, by merge key. Missing
+        /// elements are only reported once they persist (see
+        /// [`crate::MonitorConfig::missing_persistence`]); every element
+        /// is reported once per episode, not once per window.
+        diff: ModelDiff,
+    },
+    /// A node's processor load exceeded the configured threshold.
+    LoadSpike {
+        /// The overloaded node.
+        node: String,
+        /// Observed load (fraction of one core).
+        load: f64,
+        /// The configured threshold.
+        threshold: f64,
+    },
+}
+
+impl AlertKind {
+    /// A short machine-friendly name of the kind (`exec_drift`,
+    /// `period_drift`, `topology_change`, `load_spike`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlertKind::ExecDrift { .. } => "exec_drift",
+            AlertKind::PeriodDrift { .. } => "period_drift",
+            AlertKind::TopologyChange { .. } => "topology_change",
+            AlertKind::LoadSpike { .. } => "load_spike",
+        }
+    }
+}
+
+/// One emitted alert: what was detected, how urgent it is, and in which
+/// observed window (0-based snapshot index counted by the monitor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Index of the snapshot that triggered the alert (the monitor counts
+    /// [`crate::Monitor::observe`] calls from zero).
+    pub segment: u64,
+    /// Ranked urgency.
+    pub severity: Severity,
+    /// The detection itself.
+    pub kind: AlertKind,
+}
+
+impl Alert {
+    /// Serializes the alert as one JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("alerts always serialize")
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] segment {}: ", self.severity, self.segment)?;
+        match &self.kind {
+            AlertKind::ExecDrift { key, observed_macet, baseline_macet, .. } => write!(
+                f,
+                "exec drift on {key}: mean {:.3} ms vs healthy {:.3} ms",
+                observed_macet.as_millis_f64(),
+                baseline_macet.as_millis_f64()
+            ),
+            AlertKind::PeriodDrift { key, observed_period, baseline_period, .. } => write!(
+                f,
+                "period drift on {key}: {:.1} ms vs healthy {:.1} ms",
+                observed_period.as_millis_f64(),
+                baseline_period.as_millis_f64()
+            ),
+            AlertKind::TopologyChange { diff } => write!(
+                f,
+                "topology change: +{} vertices, -{} vertices, +{} edges, -{} edges",
+                diff.added_vertices.len(),
+                diff.missing_vertices.len(),
+                diff.added_edges.len(),
+                diff.missing_edges.len()
+            ),
+            AlertKind::LoadSpike { node, load, threshold } => write!(
+                f,
+                "load spike on {node}: {:.0}% (threshold {:.0}%)",
+                load * 100.0,
+                threshold * 100.0
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Critical);
+        assert_eq!(Severity::Critical.to_string(), "critical");
+    }
+
+    #[test]
+    fn kind_names_and_display() {
+        let a = Alert {
+            segment: 3,
+            severity: Severity::Warning,
+            kind: AlertKind::LoadSpike { node: "n".into(), load: 0.9, threshold: 0.85 },
+        };
+        assert_eq!(a.kind.name(), "load_spike");
+        let txt = a.to_string();
+        assert!(txt.contains("segment 3"), "{txt}");
+        assert!(txt.contains("90%"), "{txt}");
+        assert!(a.to_json().contains("\"segment\":3"), "{}", a.to_json());
+    }
+}

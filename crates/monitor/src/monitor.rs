@@ -1,0 +1,534 @@
+//! The online drift monitor.
+
+use crate::alert::{Alert, AlertKind, Severity};
+use crate::baseline::Baseline;
+use rtms_analysis::LoadAccumulator;
+use rtms_core::{Dag, ModelDiff, TopologyEdge, VertexKind};
+use rtms_trace::Nanos;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Detection thresholds of a [`Monitor`].
+///
+/// Every timing bound is *spread-aware*: it widens with the baseline's own
+/// observed variation (`mwcet - mbcet`, `period_max - period_min`), so a
+/// callback with naturally noisy execution times gets proportionally more
+/// slack and a healthy application stays silent even when the baseline was
+/// captured from a modest number of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Relative tolerance on the baseline mean execution time: a window
+    /// mean beyond `macet * (1 + exec_tolerance) + spread + exec_slack`
+    /// raises [`AlertKind::ExecDrift`].
+    pub exec_tolerance: f64,
+    /// Multiplier on the baseline execution-time spread (`mwcet - mbcet`)
+    /// added to the drift bound.
+    pub exec_range_mult: f64,
+    /// Absolute slack added to the execution-time drift bound.
+    pub exec_slack: Nanos,
+    /// Callbacks with fewer baseline samples than this are not judged for
+    /// execution-time drift (a thin envelope is not evidence).
+    pub min_baseline_samples: u64,
+    /// Windows with fewer samples of a callback than this are not judged
+    /// for execution-time drift.
+    pub min_window_samples: u64,
+    /// Relative tolerance on the baseline mean period.
+    pub period_tolerance: f64,
+    /// Absolute slack added to the period drift bound.
+    pub period_slack: Nanos,
+    /// Callbacks with fewer baseline start gaps than this are not judged
+    /// for period drift.
+    pub min_baseline_periods: u64,
+    /// Per-node processor load (fraction of one core) above which a
+    /// [`AlertKind::LoadSpike`] is raised.
+    pub load_threshold: f64,
+    /// Number of *consecutive* windows an element must be missing before a
+    /// [`AlertKind::TopologyChange`] reports it. Guards against a callback
+    /// instance straddling a window boundary; appearing elements are
+    /// reported immediately.
+    pub missing_persistence: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
+            exec_tolerance: 1.0,
+            exec_range_mult: 1.0,
+            exec_slack: Nanos::from_micros(200),
+            min_baseline_samples: 10,
+            min_window_samples: 3,
+            period_tolerance: 0.5,
+            period_slack: Nanos::from_millis(5),
+            min_baseline_periods: 5,
+            load_threshold: 0.85,
+            missing_persistence: 2,
+        }
+    }
+}
+
+/// Watches a stream of model snapshots for drift against a healthy
+/// [`Baseline`].
+///
+/// Feed one model per observation window (e.g. the model a fresh
+/// [`rtms_core::SynthesisSession`] synthesizes from one trace segment) to
+/// [`Monitor::observe`]; each call returns the window's alerts sorted by
+/// descending severity. The monitor is stateful across windows: missing
+/// topology elements must persist before they are reported, and every
+/// topology episode is reported exactly once until it recovers.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    baseline: Baseline,
+    /// `baseline.topology` with `#unknown`-decorated elements removed —
+    /// the reference side of every structural comparison.
+    reference_topology: rtms_core::Topology,
+    config: MonitorConfig,
+    segment: u64,
+    missing_vertex_streak: BTreeMap<String, usize>,
+    missing_edge_streak: BTreeMap<TopologyEdge, usize>,
+    reported_missing_vertices: BTreeSet<String>,
+    reported_missing_edges: BTreeSet<TopologyEdge>,
+    reported_added_vertices: BTreeSet<String>,
+    reported_added_edges: BTreeSet<TopologyEdge>,
+    alerts_emitted: u64,
+}
+
+impl Monitor {
+    /// Creates a monitor with [`MonitorConfig::default`] thresholds.
+    pub fn new(baseline: Baseline) -> Monitor {
+        Monitor::with_config(baseline, MonitorConfig::default())
+    }
+
+    /// Creates a monitor with explicit thresholds.
+    pub fn with_config(baseline: Baseline, config: MonitorConfig) -> Monitor {
+        let reference_topology = baseline.topology.without_unresolved();
+        Monitor {
+            baseline,
+            reference_topology,
+            config,
+            segment: 0,
+            missing_vertex_streak: BTreeMap::new(),
+            missing_edge_streak: BTreeMap::new(),
+            reported_missing_vertices: BTreeSet::new(),
+            reported_missing_edges: BTreeSet::new(),
+            reported_added_vertices: BTreeSet::new(),
+            reported_added_edges: BTreeSet::new(),
+            alerts_emitted: 0,
+        }
+    }
+
+    /// The healthy reference this monitor compares against.
+    pub fn baseline(&self) -> &Baseline {
+        &self.baseline
+    }
+
+    /// The active thresholds.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Number of snapshots observed so far.
+    pub fn segments_observed(&self) -> u64 {
+        self.segment
+    }
+
+    /// Total alerts emitted so far.
+    pub fn alerts_emitted(&self) -> u64 {
+        self.alerts_emitted
+    }
+
+    /// Feeds one window's model snapshot and returns its alerts, sorted by
+    /// descending severity. `window` is the observation window the
+    /// snapshot covers (used for processor-load accounting).
+    pub fn observe(&mut self, snapshot: &Dag, window: Nanos) -> Vec<Alert> {
+        let segment = self.segment;
+        self.segment += 1;
+        let mut alerts = Vec::new();
+
+        if let Some(diff) = self.topology_episodes(snapshot) {
+            alerts.push(Alert {
+                segment,
+                severity: Severity::Critical,
+                kind: AlertKind::TopologyChange { diff },
+            });
+        }
+        self.timing_drift(snapshot, segment, &mut alerts);
+        self.load_spikes(snapshot, window, segment, &mut alerts);
+
+        alerts.sort_by_key(|a| std::cmp::Reverse(a.severity));
+        self.alerts_emitted += alerts.len() as u64;
+        alerts
+    }
+
+    /// Structural comparison with episode bookkeeping: appeared elements
+    /// report immediately, missing elements once they persist for
+    /// [`MonitorConfig::missing_persistence`] windows; each element is
+    /// reported once per episode.
+    fn topology_episodes(&mut self, snapshot: &Dag) -> Option<ModelDiff> {
+        // Both sides sanitized: an interaction cut by the window edge
+        // decorates as `#unknown` and must not read as structural change.
+        let diff = self.reference_topology.diff_to(&snapshot.topology().without_unresolved());
+        let eff = ModelDiff {
+            added_vertices: episode_step(
+                &diff.added_vertices,
+                &mut self.reported_added_vertices,
+                None,
+                1,
+            ),
+            missing_vertices: episode_step(
+                &diff.missing_vertices,
+                &mut self.reported_missing_vertices,
+                Some(&mut self.missing_vertex_streak),
+                self.config.missing_persistence,
+            ),
+            added_edges: episode_step(&diff.added_edges, &mut self.reported_added_edges, None, 1),
+            missing_edges: episode_step(
+                &diff.missing_edges,
+                &mut self.reported_missing_edges,
+                Some(&mut self.missing_edge_streak),
+                self.config.missing_persistence,
+            ),
+        };
+        (!eff.is_empty()).then_some(eff)
+    }
+
+    /// Per-vertex execution-time and period drift against the envelopes.
+    fn timing_drift(&mut self, snapshot: &Dag, segment: u64, alerts: &mut Vec<Alert>) {
+        let c = &self.config;
+        for v in snapshot.vertices() {
+            if v.kind == VertexKind::AndJunction {
+                continue;
+            }
+            let key = v.merge_key();
+            // Vertices without an envelope are new topology, reported above.
+            let Some(env) = self.baseline.envelope(&key) else { continue };
+
+            if env.samples >= c.min_baseline_samples && v.stats.count() >= c.min_window_samples {
+                let spread = scaled(env.mwcet - env.mbcet, c.exec_range_mult);
+                let bound =
+                    scaled(env.macet, 1.0 + c.exec_tolerance) + spread + c.exec_slack;
+                if let Some(observed) = v.stats.macet() {
+                    if observed > bound {
+                        // The whole window above the healthy worst case is
+                        // unambiguous; a shifted mean alone is a warning.
+                        let severity = if v.stats.mbcet()
+                            > Some(env.mwcet + c.exec_slack)
+                        {
+                            Severity::Critical
+                        } else {
+                            Severity::Warning
+                        };
+                        alerts.push(Alert {
+                            segment,
+                            severity,
+                            kind: AlertKind::ExecDrift {
+                                key: key.clone(),
+                                observed_macet: observed,
+                                baseline_macet: env.macet,
+                                bound,
+                            },
+                        });
+                    }
+                }
+            }
+
+            // Period supervision is timer-cadence supervision: a
+            // subscriber's arrival rate is a flow effect of its upstream,
+            // not a property of the callback itself.
+            let is_timer =
+                v.kind == VertexKind::Callback(rtms_trace::CallbackKind::Timer);
+            if is_timer && env.period_samples >= c.min_baseline_periods && v.period.count() >= 1 {
+                let (Some(pm), Some(pmin), Some(pmax)) =
+                    (env.period_mean, env.period_min, env.period_max)
+                else {
+                    continue;
+                };
+                let bound =
+                    scaled(pm, 1.0 + c.period_tolerance) + (pmax - pmin) + c.period_slack;
+                if let Some(observed) = v.period.macet() {
+                    if observed > bound {
+                        let severity = if observed > scaled(bound, 2.0) {
+                            Severity::Critical
+                        } else {
+                            Severity::Warning
+                        };
+                        alerts.push(Alert {
+                            segment,
+                            severity,
+                            kind: AlertKind::PeriodDrift {
+                                key: key.clone(),
+                                observed_period: observed,
+                                baseline_period: pm,
+                                bound,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-node processor load over the window, via the streaming
+    /// [`LoadAccumulator`] of `rtms-analysis`.
+    fn load_spikes(&self, snapshot: &Dag, window: Nanos, segment: u64, alerts: &mut Vec<Alert>) {
+        if window == Nanos::ZERO {
+            return;
+        }
+        let mut acc = LoadAccumulator::new(window);
+        acc.add_run(snapshot);
+        for nl in acc.mean_loads() {
+            if nl.load > self.config.load_threshold {
+                alerts.push(Alert {
+                    segment,
+                    severity: Severity::Warning,
+                    kind: AlertKind::LoadSpike {
+                        node: nl.node,
+                        load: nl.load,
+                        threshold: self.config.load_threshold,
+                    },
+                });
+            }
+        }
+    }
+}
+
+/// One window step of episode bookkeeping for one diff list. Returns the
+/// elements to report this window: those whose streak just reached
+/// `persistence` and which were not already reported in the ongoing
+/// episode. Elements absent from `current` have recovered — their streak
+/// and reported status reset, so a recurrence starts a fresh episode.
+fn episode_step<T: Ord + Clone>(
+    current: &[T],
+    reported: &mut BTreeSet<T>,
+    mut streaks: Option<&mut BTreeMap<T, usize>>,
+    persistence: usize,
+) -> Vec<T> {
+    let now: BTreeSet<T> = current.iter().cloned().collect();
+    let mut fresh = Vec::new();
+    for item in &now {
+        let streak = match streaks.as_deref_mut() {
+            Some(map) => {
+                let s = map.entry(item.clone()).or_insert(0);
+                *s += 1;
+                *s
+            }
+            None => persistence, // no streak tracking: report immediately
+        };
+        if streak >= persistence && reported.insert(item.clone()) {
+            fresh.push(item.clone());
+        }
+    }
+    if let Some(map) = streaks {
+        map.retain(|k, _| now.contains(k));
+    }
+    reported.retain(|k| now.contains(k));
+    fresh
+}
+
+/// Scales a duration by a non-negative factor, rounding to the nanosecond.
+fn scaled(d: Nanos, factor: f64) -> Nanos {
+    Nanos::from_nanos((d.as_nanos() as f64 * factor).round().max(0.0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_core::{CallbackRecord, CbList, ExecStats};
+    use rtms_trace::{CallbackId, CallbackKind, Pid};
+    use std::collections::HashMap;
+
+    /// A callback record with `n` execution samples of `exec_ms` each,
+    /// started every `period_ms`.
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        pid: u32,
+        id: u64,
+        kind: CallbackKind,
+        in_topic: Option<&str>,
+        outs: &[&str],
+        exec_ms: f64,
+        n: usize,
+        period_ms: u64,
+    ) -> CallbackRecord {
+        let times: Vec<Nanos> = (0..n).map(|_| Nanos::from_millis_f64(exec_ms)).collect();
+        CallbackRecord {
+            pid: Pid::new(pid),
+            id: CallbackId::new(id),
+            kind,
+            in_topic: in_topic.map(String::from),
+            out_topics: outs.iter().map(|s| s.to_string()).collect(),
+            is_sync_subscriber: false,
+            stats: ExecStats::from_samples(times.iter().copied()),
+            exec_times: times,
+            start_times: (0..n as u64).map(|i| Nanos::from_millis(i * period_ms)).collect(),
+        }
+    }
+
+    fn dag(lists: Vec<(u32, Vec<CallbackRecord>)>) -> Dag {
+        let names: HashMap<Pid, String> =
+            lists.iter().map(|(p, _)| (Pid::new(*p), format!("n{p}"))).collect();
+        let lists: Vec<(Pid, CbList)> = lists
+            .into_iter()
+            .map(|(p, recs)| (Pid::new(p), recs.into_iter().collect()))
+            .collect();
+        Dag::from_cblists(&lists, &names)
+    }
+
+    fn chain(timer_exec: f64, sub_exec: f64, n: usize, period: u64) -> Dag {
+        dag(vec![
+            (1, vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], timer_exec, n, period)]),
+            (2, vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], sub_exec, n, period)]),
+        ])
+    }
+
+    const WINDOW: Nanos = Nanos::from_secs(1);
+
+    #[test]
+    fn healthy_window_is_silent() {
+        let healthy = chain(1.0, 2.0, 12, 100);
+        let mut m = Monitor::new(Baseline::from_dag(&healthy));
+        for _ in 0..5 {
+            assert_eq!(m.observe(&chain(1.0, 2.0, 6, 100), WINDOW), vec![]);
+        }
+        assert_eq!(m.segments_observed(), 5);
+        assert_eq!(m.alerts_emitted(), 0);
+    }
+
+    #[test]
+    fn exec_drift_beyond_envelope_raises_critical() {
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)));
+        let alerts = m.observe(&chain(5.0, 2.0, 6, 100), WINDOW);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].severity, Severity::Critical);
+        match &alerts[0].kind {
+            AlertKind::ExecDrift { key, observed_macet, baseline_macet, .. } => {
+                assert_eq!(key, "n1|timer|/a");
+                assert_eq!(*observed_macet, Nanos::from_millis(5));
+                assert_eq!(*baseline_macet, Nanos::from_millis(1));
+            }
+            other => panic!("expected exec drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exec_drift_below_bound_is_silent() {
+        // Constant 1 ms baseline: bound = 2 ms + 0 spread + 0.2 ms slack.
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)));
+        assert!(m.observe(&chain(2.1, 2.0, 6, 100), WINDOW).is_empty());
+        assert_eq!(m.observe(&chain(2.3, 2.0, 6, 100), WINDOW).len(), 1);
+    }
+
+    #[test]
+    fn thin_envelope_is_not_judged() {
+        // Only 2 baseline samples (< min_baseline_samples): no exec alert
+        // even for a 10x shift.
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 2, 100)));
+        let alerts = m.observe(&chain(10.0, 2.0, 6, 100), WINDOW);
+        assert!(
+            alerts.iter().all(|a| a.kind.name() != "exec_drift"),
+            "thin baseline must not be judged: {alerts:?}"
+        );
+    }
+
+    #[test]
+    fn period_drift_detected_with_severity_scaling() {
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)));
+        // Bound: 100 * 1.5 + 0 + 5 = 155 ms.
+        let warn = m.observe(&chain(1.0, 2.0, 6, 250), WINDOW);
+        assert!(
+            warn.iter().any(|a| matches!(
+                &a.kind,
+                AlertKind::PeriodDrift { key, observed_period, .. }
+                    if key == "n1|timer|/a" && *observed_period == Nanos::from_millis(250)
+            )),
+            "{warn:?}"
+        );
+        let crit = m.observe(&chain(1.0, 2.0, 4, 400), WINDOW);
+        let period_alert = crit
+            .iter()
+            .find(|a| a.kind.name() == "period_drift")
+            .expect("period drift fires");
+        assert_eq!(period_alert.severity, Severity::Critical, "400 > 2x bound");
+    }
+
+    #[test]
+    fn topology_added_reports_immediately_and_once_per_episode() {
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)));
+        let with_extra = dag(vec![
+            (1, vec![
+                rec(1, 1, CallbackKind::Timer, None, &["/a"], 1.0, 6, 100),
+                rec(1, 3, CallbackKind::Timer, None, &["/rogue"], 1.0, 6, 100),
+            ]),
+            (2, vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], 2.0, 6, 100)]),
+        ]);
+        let first = m.observe(&with_extra, WINDOW);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].severity, Severity::Critical);
+        match &first[0].kind {
+            AlertKind::TopologyChange { diff } => {
+                assert_eq!(diff.added_vertices, vec!["n1|timer|/rogue".to_string()]);
+                assert!(diff.missing_vertices.is_empty());
+            }
+            other => panic!("expected topology change, got {other:?}"),
+        }
+        // Persisting condition: not re-reported.
+        assert!(m.observe(&with_extra, WINDOW).is_empty());
+        // Recovery, then recurrence: a fresh episode re-alerts.
+        assert!(m.observe(&chain(1.0, 2.0, 6, 100), WINDOW).is_empty());
+        assert_eq!(m.observe(&with_extra, WINDOW).len(), 1);
+    }
+
+    #[test]
+    fn missing_elements_need_persistence() {
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)));
+        let timer_only =
+            dag(vec![(1, vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], 1.0, 6, 100)])]);
+        // First missing window: below persistence, silent.
+        assert!(m.observe(&timer_only, WINDOW).is_empty());
+        // Second consecutive: reported once, vertex and edge.
+        let alerts = m.observe(&timer_only, WINDOW);
+        assert_eq!(alerts.len(), 1);
+        match &alerts[0].kind {
+            AlertKind::TopologyChange { diff } => {
+                assert_eq!(diff.missing_vertices, vec!["n2|subscriber|/a".to_string()]);
+                assert_eq!(diff.missing_edges.len(), 1);
+            }
+            other => panic!("expected topology change, got {other:?}"),
+        }
+        // Still missing: no repeat.
+        assert!(m.observe(&timer_only, WINDOW).is_empty());
+        // One healthy window resets the streak: a single missing window is
+        // silent again.
+        assert!(m.observe(&chain(1.0, 2.0, 6, 100), WINDOW).is_empty());
+        assert!(m.observe(&timer_only, WINDOW).is_empty());
+    }
+
+    #[test]
+    fn load_spike_via_accumulator() {
+        let healthy = chain(1.0, 2.0, 12, 100);
+        let mut m = Monitor::new(Baseline::from_dag(&healthy));
+        // 10 instances of 95 ms in a 1 s window: 95% of a core.
+        let heavy = dag(vec![
+            (1, vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], 1.0, 6, 100)]),
+            (2, vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], 2.0, 6, 100)]),
+            (3, vec![rec(3, 3, CallbackKind::Timer, None, &["/hot"], 95.0, 10, 100)]),
+        ]);
+        // The hot node is new topology AND a load spike; check both fire,
+        // ranked critical-first.
+        let alerts = m.observe(&heavy, WINDOW);
+        assert!(alerts.len() >= 2, "{alerts:?}");
+        assert_eq!(alerts[0].severity, Severity::Critical, "topology change leads");
+        assert!(
+            alerts.iter().any(|a| matches!(
+                &a.kind,
+                AlertKind::LoadSpike { node, load, .. } if node == "n3" && *load > 0.85
+            )),
+            "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn zero_window_skips_load_accounting() {
+        let healthy = chain(1.0, 2.0, 12, 100);
+        let mut m = Monitor::new(Baseline::from_dag(&healthy));
+        assert!(m.observe(&chain(1.0, 2.0, 6, 100), Nanos::ZERO).is_empty());
+    }
+}

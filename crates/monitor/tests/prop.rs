@@ -1,0 +1,101 @@
+//! Property suites for the monitor's two core guarantees:
+//!
+//! 1. **No false positives**: ≥100 generated fault-free applications run
+//!    through the full streaming pipeline (trace segments → per-window
+//!    synthesis → monitor) raise *zero* alerts.
+//! 2. **Detection**: injected faults (slowdown / timer stutter / muted
+//!    publisher) are detected with the correct alert kind within two
+//!    segments of activation.
+
+use rtms_monitor::Alert;
+use rtms_ros2::{FaultPlan, WorldBuilder};
+use rtms_trace::Nanos;
+use rtms_workloads::{
+    generate_app, generate_fault_scenario, monitor_run, monitoring_app_config, ExpectedAlert,
+    FaultScenarioConfig,
+};
+
+const SEGMENT: Nanos = Nanos::from_millis(500);
+const BASELINE_SEGMENTS: usize = 2;
+
+/// Runs one world through the shared monitoring harness
+/// (`rtms_workloads::monitor_run` — the same code path the `monitoring`
+/// experiment scores); returns `(global segment, alert)` pairs raised
+/// after the baseline phase.
+fn run_monitored(mut world: rtms_ros2::Ros2World, total_segments: usize) -> Vec<(usize, Alert)> {
+    monitor_run(&mut world, SEGMENT, BASELINE_SEGMENTS, total_segments).1
+}
+
+#[test]
+fn no_false_positives_across_100_fault_free_apps() {
+    let cfg = monitoring_app_config();
+    let mut silent = 0;
+    for seed in 0..100u64 {
+        let app = generate_app(seed, &cfg);
+        let world =
+            WorldBuilder::new(4).seed(seed).app(app).build().expect("generated app is valid");
+        let alerts = run_monitored(world, 5); // 2 baseline + 3 monitored
+        assert!(
+            alerts.is_empty(),
+            "seed {seed}: fault-free app raised alerts: {:?}",
+            alerts.iter().map(|(s, a)| format!("seg {s}: {a}")).collect::<Vec<_>>()
+        );
+        silent += 1;
+    }
+    assert_eq!(silent, 100);
+}
+
+#[test]
+fn injected_faults_detected_within_two_segments() {
+    let baseline_end = Nanos::from_nanos(SEGMENT.as_nanos() * BASELINE_SEGMENTS as u64);
+    let window = (baseline_end, baseline_end + Nanos::from_millis(100));
+    let mut seen_kinds = [false; 3];
+    for seed in 0..12u64 {
+        let scenario = generate_fault_scenario(seed, &FaultScenarioConfig::new(2, window));
+        let world = WorldBuilder::new(4)
+            .seed(seed)
+            .app(scenario.app.clone())
+            .fault_plan(scenario.plan.clone())
+            .build()
+            .expect("scenario world builds");
+        let alerts = run_monitored(world, 6); // 2 baseline + 4 monitored
+        for fault in &scenario.truth {
+            let fault_segment = (fault.at.as_nanos() / SEGMENT.as_nanos()) as usize;
+            let hit = alerts
+                .iter()
+                .find(|(seg, alert)| *seg >= fault_segment && fault.is_detected_by(alert));
+            let (seg, _) = hit.unwrap_or_else(|| {
+                panic!(
+                    "seed {seed}: fault {fault:?} undetected; alerts: {:?}",
+                    alerts.iter().map(|(s, a)| format!("seg {s}: {a}")).collect::<Vec<_>>()
+                )
+            });
+            assert!(
+                seg - fault_segment <= 2,
+                "seed {seed}: fault {fault:?} detected late (segment {seg}, fault at {fault_segment})"
+            );
+            seen_kinds[match fault.expected {
+                ExpectedAlert::ExecDrift => 0,
+                ExpectedAlert::PeriodDrift => 1,
+                ExpectedAlert::TopologyChange => 2,
+            }] = true;
+        }
+    }
+    assert!(
+        seen_kinds.iter().all(|&k| k),
+        "suite must exercise all three fault kinds, saw {seen_kinds:?}"
+    );
+}
+
+#[test]
+fn healthy_world_with_empty_plan_stays_silent() {
+    // An attached-but-empty fault plan must not perturb monitoring.
+    let app = generate_app(7, &monitoring_app_config());
+    let world = WorldBuilder::new(4)
+        .seed(7)
+        .app(app)
+        .fault_plan(FaultPlan::new())
+        .build()
+        .expect("valid");
+    assert!(run_monitored(world, 5).is_empty());
+}

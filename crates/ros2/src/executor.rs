@@ -8,6 +8,7 @@
 //! tracers at the exact simulated instants the real functions would run.
 
 use crate::dds::ReaderId;
+use crate::fault::CbFaults;
 use crate::ground_truth::InstanceRecord;
 use crate::work::WorkModel;
 use crate::world::WorldState;
@@ -24,6 +25,7 @@ pub(crate) struct CbRuntime {
     pub(crate) work: WorkModel,
     pub(crate) outputs: Vec<ResolvedOutput>,
     pub(crate) detail: CbDetail,
+    pub(crate) faults: CbFaults,
 }
 
 #[derive(Debug)]
@@ -115,10 +117,15 @@ impl NodeExecutor {
             }
         }
 
-        // Declared outputs.
+        // Declared outputs. An active MutePublisher fault drops the
+        // topic publications (the callback ran, its data never left).
+        let muted = self.cbs[cur.cb].faults.muted(now);
         for out in self.cbs[cur.cb].outputs.clone() {
             match out {
                 ResolvedOutput::Publish(topic) => {
+                    if muted {
+                        continue;
+                    }
                     wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, None));
                 }
                 ResolvedOutput::CallService { client_cb, request_topic } => {
@@ -166,14 +173,16 @@ impl NodeExecutor {
         let now = ctx.now();
         let pid = ctx.self_pid();
         let id = self.cbs[idx].id;
+        let faults = self.cbs[idx].faults;
         if let CbDetail::Timer { period, next_fire } = &mut self.cbs[idx].detail {
-            *next_fire += *period;
+            // An active TimerStutter fault stretches the cadence.
+            *next_fire += faults.effective_period(now, *period);
         }
         let work = {
             let mut w = self.world.borrow_mut();
             w.call(FunctionCall::entry(now, pid, FunctionArgs::ExecuteTimer));
             w.call(FunctionCall::entry(now, pid, FunctionArgs::RclTimerCall { timer: id }));
-            self.cbs[idx].work.sample(&mut w.rng)
+            faults.apply_slowdown(now, self.cbs[idx].work.sample(&mut w.rng))
         };
         self.current = Some(Current { cb: idx, start: now, issued: work, requester: None });
         Op::Compute(work)
@@ -215,7 +224,7 @@ impl NodeExecutor {
             if is_sync {
                 w.call(FunctionCall::entry(now, pid, FunctionArgs::MessageFilterOp));
             }
-            self.cbs[idx].work.sample(&mut w.rng)
+            self.cbs[idx].faults.apply_slowdown(now, self.cbs[idx].work.sample(&mut w.rng))
         };
         self.current = Some(Current { cb: idx, start: now, issued: work, requester: None });
         Op::Compute(work)
@@ -252,7 +261,10 @@ impl NodeExecutor {
                     src_ts: SrcTsRef::resolved(addr, sample.src_ts),
                 },
             ));
-            (self.cbs[idx].work.sample(&mut w.rng), sample.rpc_target)
+            (
+                self.cbs[idx].faults.apply_slowdown(now, self.cbs[idx].work.sample(&mut w.rng)),
+                sample.rpc_target,
+            )
         };
         self.current = Some(Current { cb: idx, start: now, issued: work, requester });
         Op::Compute(work)
@@ -304,7 +316,10 @@ impl NodeExecutor {
                 // Not our response: execute_client returns immediately.
                 w.call(FunctionCall::exit(now, pid, FunctionArgs::ExecuteClient));
             }
-            (self.cbs[idx].work.sample(&mut w.rng), dispatch)
+            (
+                self.cbs[idx].faults.apply_slowdown(now, self.cbs[idx].work.sample(&mut w.rng)),
+                dispatch,
+            )
         };
         if dispatch {
             self.current = Some(Current { cb: idx, start: now, issued: work, requester: None });

@@ -1,0 +1,207 @@
+//! Fault injection: making a simulated application misbehave on schedule.
+//!
+//! A [`FaultPlan`] attaches timed faults to named callbacks of the
+//! applications in a world (via
+//! [`WorldBuilder::fault_plan`](crate::WorldBuilder::fault_plan)). Faults
+//! activate at a simulated instant and stay active for the rest of the
+//! run, modeling the degradations a runtime monitor must catch:
+//!
+//! - [`FaultKind::Slowdown`] — every execution-time sample of the callback
+//!   is scaled by a factor (a regression, a contended resource, thermal
+//!   throttling);
+//! - [`FaultKind::TimerStutter`] — a timer's period is scaled by a factor
+//!   (a wedged clock source, a starved timer thread);
+//! - [`FaultKind::MutePublisher`] — the callback still runs but its topic
+//!   publications are dropped (a dead sensor feed, a broken QoS match).
+//!
+//! Faults change *behaviour*, never *tracing*: the tracers keep observing
+//! whatever the faulty application actually does, which is exactly what
+//! makes the resulting model drift detectable downstream.
+//!
+//! # Example
+//!
+//! ```
+//! use rtms_ros2::{FaultKind, FaultPlan, FaultSpec};
+//! use rtms_trace::Nanos;
+//!
+//! let mut plan = FaultPlan::new();
+//! plan.push(FaultSpec {
+//!     callback: "T1".to_string(),
+//!     at: Nanos::from_secs(2),
+//!     kind: FaultKind::Slowdown { factor: 5.0 },
+//! });
+//! assert_eq!(plan.faults().len(), 1);
+//! ```
+
+use rtms_trace::Nanos;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What goes wrong when a fault activates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Every execution-time sample of the callback is multiplied by
+    /// `factor` (> 1 slows the callback down).
+    Slowdown {
+        /// Execution-time scale factor.
+        factor: f64,
+    },
+    /// The timer's period is multiplied by `factor` for every firing
+    /// scheduled after activation. Only valid on timer callbacks, and the
+    /// factor must be ≥ 1 — a stutter stretches the cadence; shrinking
+    /// the period toward zero would stall the simulated clock.
+    TimerStutter {
+        /// Period scale factor (≥ 1).
+        factor: f64,
+    },
+    /// The callback's declared topic publications are dropped. Service
+    /// calls, service responses, and synchronizer outputs are unaffected —
+    /// the fault models a dead *publisher*, not a dead callback.
+    MutePublisher,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Slowdown { factor } => write!(f, "slowdown x{factor}"),
+            FaultKind::TimerStutter { factor } => write!(f, "timer stutter x{factor}"),
+            FaultKind::MutePublisher => write!(f, "mute publisher"),
+        }
+    }
+}
+
+/// One timed fault on one named callback.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Name of the target callback (as declared on the
+    /// [`AppBuilder`](crate::AppBuilder)).
+    pub callback: String,
+    /// Activation instant; the fault stays active from here on.
+    pub at: Nanos,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// An ordered collection of [`FaultSpec`]s for one world.
+///
+/// Multiple faults may target distinct callbacks; several faults on the
+/// *same* callback are allowed as long as their kinds differ (one
+/// slowdown, one stutter, one mute each at most — a later spec of the same
+/// kind replaces the earlier one).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds one fault.
+    pub fn push(&mut self, fault: FaultSpec) {
+        self.faults.push(fault);
+    }
+
+    /// The faults, in insertion order.
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+impl FromIterator<FaultSpec> for FaultPlan {
+    fn from_iter<I: IntoIterator<Item = FaultSpec>>(iter: I) -> FaultPlan {
+        FaultPlan { faults: iter.into_iter().collect() }
+    }
+}
+
+/// Resolved per-callback fault switches, consulted by the executor on
+/// every dispatch. `None` means the fault kind is not planned for this
+/// callback.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CbFaults {
+    /// `(activation, factor)` for execution-time scaling.
+    pub(crate) slowdown: Option<(Nanos, f64)>,
+    /// `(activation, factor)` for timer-period scaling.
+    pub(crate) stutter: Option<(Nanos, f64)>,
+    /// Activation instant for publication muting.
+    pub(crate) mute: Option<Nanos>,
+}
+
+impl CbFaults {
+    /// Scales a sampled execution time if the slowdown is active at `now`.
+    pub(crate) fn apply_slowdown(&self, now: Nanos, work: Nanos) -> Nanos {
+        match self.slowdown {
+            Some((at, factor)) if now >= at => work.scaled(factor),
+            _ => work,
+        }
+    }
+
+    /// The effective timer period at `now`.
+    pub(crate) fn effective_period(&self, now: Nanos, period: Nanos) -> Nanos {
+        match self.stutter {
+            Some((at, factor)) if now >= at => period.scaled(factor),
+            _ => period,
+        }
+    }
+
+    /// Whether topic publications are muted at `now`.
+    pub(crate) fn muted(&self, now: Nanos) -> bool {
+        self.mute.is_some_and(|at| now >= at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_activate_at_time() {
+        let f = CbFaults {
+            slowdown: Some((Nanos::from_secs(1), 3.0)),
+            stutter: Some((Nanos::from_secs(2), 2.0)),
+            mute: Some(Nanos::from_secs(3)),
+        };
+        let ms = Nanos::from_millis;
+        assert_eq!(f.apply_slowdown(ms(999), ms(2)), ms(2));
+        assert_eq!(f.apply_slowdown(ms(1000), ms(2)), ms(6));
+        assert_eq!(f.effective_period(ms(1999), ms(10)), ms(10));
+        assert_eq!(f.effective_period(ms(2000), ms(10)), ms(20));
+        assert!(!f.muted(ms(2999)));
+        assert!(f.muted(ms(3000)));
+        let none = CbFaults::default();
+        assert_eq!(none.apply_slowdown(ms(5000), ms(2)), ms(2));
+        assert_eq!(none.effective_period(ms(5000), ms(10)), ms(10));
+        assert!(!none.muted(ms(5000)));
+    }
+
+    #[test]
+    fn plan_collects_and_serializes() {
+        let plan: FaultPlan = [
+            FaultSpec {
+                callback: "A".into(),
+                at: Nanos::from_secs(1),
+                kind: FaultKind::MutePublisher,
+            },
+            FaultSpec {
+                callback: "B".into(),
+                at: Nanos::from_secs(2),
+                kind: FaultKind::TimerStutter { factor: 2.5 },
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert!(!plan.is_empty());
+        let json = serde_json::to_string(&plan).expect("ser");
+        let back: FaultPlan = serde_json::from_str(&json).expect("de");
+        assert_eq!(plan, back);
+        assert_eq!(FaultKind::MutePublisher.to_string(), "mute publisher");
+        assert!(FaultKind::Slowdown { factor: 4.0 }.to_string().contains("x4"));
+    }
+}

@@ -47,6 +47,7 @@
 pub mod app;
 pub mod dds;
 pub mod executor;
+pub mod fault;
 pub mod ground_truth;
 pub mod tracers;
 pub mod work;
@@ -56,6 +57,7 @@ pub use app::{
     AppBuilder, AppError, AppSpec, CallbackSpec, NodeId, NodeSpec, OutputAction, SyncGroupSpec,
 };
 pub use dds::{DdsDomain, Sample};
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use ground_truth::{CallbackInfo, GroundTruth, InstanceRecord};
 pub use tracers::TracerSet;
 pub use work::WorkModel;

@@ -3,6 +3,7 @@
 use crate::app::{AppSpec, CallbackSpec, OutputAction};
 use crate::dds::DdsDomain;
 use crate::executor::{CbDetail, CbRuntime, NodeExecutor, ResolvedOutput, SyncRuntime};
+use crate::fault::{CbFaults, FaultKind, FaultPlan};
 use crate::ground_truth::{CallbackInfo, GroundTruth};
 use crate::tracers::TracerSet;
 use rand::rngs::StdRng;
@@ -19,12 +20,28 @@ use std::fmt;
 use std::rc::Rc;
 
 /// Errors detected while assembling a world.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorldError {
     /// Two nodes (possibly in different apps) offer the same service.
     DuplicateService(String),
     /// No application was added.
     NoApps,
+    /// A fault targets a callback no application declares.
+    UnknownFaultCallback(String),
+    /// A fault targets a callback name declared by more than one
+    /// application in this world (names are only unique per app), so the
+    /// target is ambiguous.
+    AmbiguousFaultCallback(String),
+    /// A [`FaultKind::TimerStutter`] targets a non-timer callback.
+    StutterOnNonTimer(String),
+    /// A fault factor is invalid: not a finite positive number, or a
+    /// stutter factor below 1.
+    BadFaultFactor {
+        /// The target callback.
+        callback: String,
+        /// The offending factor.
+        factor: f64,
+    },
 }
 
 impl fmt::Display for WorldError {
@@ -32,6 +49,18 @@ impl fmt::Display for WorldError {
         match self {
             WorldError::DuplicateService(s) => write!(f, "service {s:?} offered twice"),
             WorldError::NoApps => write!(f, "world has no applications"),
+            WorldError::UnknownFaultCallback(c) => {
+                write!(f, "fault targets unknown callback {c:?}")
+            }
+            WorldError::AmbiguousFaultCallback(c) => {
+                write!(f, "fault target {c:?} is declared by more than one application")
+            }
+            WorldError::StutterOnNonTimer(c) => {
+                write!(f, "timer-stutter fault targets non-timer callback {c:?}")
+            }
+            WorldError::BadFaultFactor { callback, factor } => {
+                write!(f, "fault on {callback:?} has invalid factor {factor}")
+            }
         }
     }
 }
@@ -103,6 +132,7 @@ pub struct WorldBuilder {
     background: Vec<(Nanos, Nanos, Nanos)>,
     filtered_kernel: bool,
     record_wakeups: bool,
+    faults: FaultPlan,
 }
 
 impl WorldBuilder {
@@ -117,6 +147,7 @@ impl WorldBuilder {
             background: Vec::new(),
             filtered_kernel: true,
             record_wakeups: false,
+            faults: FaultPlan::new(),
         }
     }
 
@@ -166,6 +197,16 @@ impl WorldBuilder {
         self
     }
 
+    /// Attaches a fault plan: timed behaviour degradations of named
+    /// callbacks (see [`crate::fault`]). Faults from repeated calls
+    /// accumulate. Targets are validated in [`WorldBuilder::build`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        for fault in plan.faults() {
+            self.faults.push(fault.clone());
+        }
+        self
+    }
+
     /// Assembles the world.
     ///
     /// # Errors
@@ -189,6 +230,57 @@ impl WorldBuilder {
                             }
                         }
                     }
+                }
+            }
+        }
+
+        // Resolve the fault plan against the declared callbacks. Names are
+        // only unique *per app*, so a name declared by several apps is an
+        // ambiguous target and rejected rather than silently fanned out.
+        let mut fault_map: HashMap<String, CbFaults> = HashMap::new();
+        {
+            let mut decls: HashMap<&str, (bool, usize)> = HashMap::new();
+            for app in &self.apps {
+                for node in &app.nodes {
+                    for cb in &node.callbacks {
+                        let d = decls
+                            .entry(cb.name())
+                            .or_insert((matches!(cb, CallbackSpec::Timer { .. }), 0));
+                        d.1 += 1;
+                    }
+                }
+            }
+            for fault in self.faults.faults() {
+                let Some(&(timer, count)) = decls.get(fault.callback.as_str()) else {
+                    return Err(WorldError::UnknownFaultCallback(fault.callback.clone()));
+                };
+                if count > 1 {
+                    return Err(WorldError::AmbiguousFaultCallback(fault.callback.clone()));
+                }
+                let check = |factor: f64, min: f64| {
+                    if factor.is_finite() && factor >= min && factor > 0.0 {
+                        Ok(factor)
+                    } else {
+                        Err(WorldError::BadFaultFactor {
+                            callback: fault.callback.clone(),
+                            factor,
+                        })
+                    }
+                };
+                let entry = fault_map.entry(fault.callback.clone()).or_default();
+                match fault.kind {
+                    FaultKind::Slowdown { factor } => {
+                        entry.slowdown = Some((fault.at, check(factor, 0.0)?));
+                    }
+                    FaultKind::TimerStutter { factor } => {
+                        if !timer {
+                            return Err(WorldError::StutterOnNonTimer(fault.callback.clone()));
+                        }
+                        // A sub-1 factor would shrink the period toward
+                        // zero and stall the simulated clock.
+                        entry.stutter = Some((fault.at, check(factor, 1.0)?));
+                    }
+                    FaultKind::MutePublisher => entry.mute = Some(fault.at),
                 }
             }
         }
@@ -265,7 +357,8 @@ impl WorldBuilder {
                         },
                     );
                     name_to_idx.insert(spec.name(), cbs.len());
-                    cbs.push(CbRuntime { id, work, outputs: Vec::new(), detail });
+                    let faults = fault_map.get(spec.name()).copied().unwrap_or_default();
+                    cbs.push(CbRuntime { id, work, outputs: Vec::new(), detail, faults });
                 }
 
                 // Second pass: outputs (client references now resolvable).

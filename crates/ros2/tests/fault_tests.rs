@@ -1,0 +1,162 @@
+//! Behavioural tests for fault injection: the simulated application must
+//! actually misbehave from the activation instant on, and only then.
+
+use rtms_ros2::{
+    AppBuilder, AppSpec, FaultKind, FaultPlan, FaultSpec, WorkModel, WorldBuilder, WorldError,
+};
+use rtms_trace::Nanos;
+
+/// Timer T publishes /t every 50 ms; subscriber S consumes it.
+fn chain_app() -> AppSpec {
+    let mut app = AppBuilder::new("faulty");
+    let n1 = app.node("producer");
+    app.timer(n1, "T", Nanos::from_millis(50), WorkModel::constant_millis(1.0)).publishes("/t");
+    let n2 = app.node("consumer");
+    app.subscriber(n2, "S", "/t", WorkModel::constant_millis(1.0));
+    app.build().expect("valid app")
+}
+
+fn plan(callback: &str, at_ms: u64, kind: FaultKind) -> FaultPlan {
+    [FaultSpec { callback: callback.to_string(), at: Nanos::from_millis(at_ms), kind }]
+        .into_iter()
+        .collect()
+}
+
+#[test]
+fn slowdown_scales_exec_time_from_activation() {
+    let mut world = WorldBuilder::new(2)
+        .seed(3)
+        .app(chain_app())
+        .fault_plan(plan("T", 2_000, FaultKind::Slowdown { factor: 5.0 }))
+        .build()
+        .expect("world builds");
+    world.trace_run(Nanos::from_secs(4));
+    let gt = world.ground_truth();
+    let id = gt.id_of("T").expect("timer registered");
+    let at = Nanos::from_millis(2_000);
+    let (mut before, mut after) = (Vec::new(), Vec::new());
+    for inst in gt.instances_of(id) {
+        let dur = inst.end - inst.start;
+        if inst.start < at {
+            before.push(dur);
+        } else {
+            after.push(dur);
+        }
+    }
+    assert!(!before.is_empty() && !after.is_empty());
+    assert!(before.iter().all(|&d| d == Nanos::from_millis(1)), "healthy phase unscaled");
+    assert!(after.iter().all(|&d| d == Nanos::from_millis(5)), "faulty phase scaled 5x");
+}
+
+#[test]
+fn timer_stutter_stretches_period_from_activation() {
+    let mut world = WorldBuilder::new(2)
+        .seed(3)
+        .app(chain_app())
+        .fault_plan(plan("T", 2_000, FaultKind::TimerStutter { factor: 2.0 }))
+        .build()
+        .expect("world builds");
+    world.trace_run(Nanos::from_secs(4));
+    let gt = world.ground_truth();
+    let id = gt.id_of("T").expect("timer registered");
+    let starts: Vec<Nanos> = gt.instances_of(id).map(|i| i.start).collect();
+    let gaps = |range: &dyn Fn(Nanos) -> bool| -> Vec<u64> {
+        starts
+            .windows(2)
+            .filter(|w| range(w[0]))
+            .map(|w| (w[1] - w[0]).as_nanos())
+            .collect()
+    };
+    let at = Nanos::from_millis(2_000);
+    let healthy = gaps(&|s| s + Nanos::from_millis(100) < at);
+    let faulty = gaps(&|s| s >= at);
+    assert!(healthy.iter().all(|&g| g == 50_000_000), "healthy gaps are the 50ms period");
+    assert!(faulty.iter().all(|&g| g == 100_000_000), "stuttered gaps are doubled");
+}
+
+#[test]
+fn mute_publisher_silences_downstream_subscriber() {
+    let mut world = WorldBuilder::new(2)
+        .seed(3)
+        .app(chain_app())
+        .fault_plan(plan("T", 2_000, FaultKind::MutePublisher))
+        .build()
+        .expect("world builds");
+    world.trace_run(Nanos::from_secs(4));
+    let gt = world.ground_truth();
+    let timer = gt.id_of("T").expect("timer");
+    let sub = gt.id_of("S").expect("subscriber");
+    let at = Nanos::from_millis(2_000);
+    // The timer keeps running through the fault...
+    assert!(gt.instances_of(timer).any(|i| i.start >= at), "muted timer still executes");
+    // ...but the subscriber saw data only before activation (plus the DDS
+    // latency tail of the last pre-fault sample).
+    let last_sub = gt.instances_of(sub).map(|i| i.start).max().expect("subscriber ran");
+    assert!(gt.instances_of(sub).next().is_some(), "subscriber ran while healthy");
+    assert!(
+        last_sub < at + Nanos::from_millis(50),
+        "no subscriber instance after the mute settled: last at {last_sub:?}"
+    );
+}
+
+#[test]
+fn fault_plan_validation() {
+    let unknown = WorldBuilder::new(1)
+        .app(chain_app())
+        .fault_plan(plan("ghost", 0, FaultKind::MutePublisher))
+        .build();
+    assert_eq!(unknown.err(), Some(WorldError::UnknownFaultCallback("ghost".into())));
+
+    let not_a_timer = WorldBuilder::new(1)
+        .app(chain_app())
+        .fault_plan(plan("S", 0, FaultKind::TimerStutter { factor: 2.0 }))
+        .build();
+    assert_eq!(not_a_timer.err(), Some(WorldError::StutterOnNonTimer("S".into())));
+
+    let bad_factor = WorldBuilder::new(1)
+        .app(chain_app())
+        .fault_plan(plan("T", 0, FaultKind::Slowdown { factor: 0.0 }))
+        .build();
+    assert!(matches!(bad_factor.err(), Some(WorldError::BadFaultFactor { .. })));
+
+    // A stutter must stretch the period: sub-1 factors would shrink it
+    // toward zero and stall the simulated clock.
+    let shrinking_stutter = WorldBuilder::new(1)
+        .app(chain_app())
+        .fault_plan(plan("T", 0, FaultKind::TimerStutter { factor: 0.5 }))
+        .build();
+    assert!(matches!(shrinking_stutter.err(), Some(WorldError::BadFaultFactor { .. })));
+
+    // Callback names are unique per app only; a cross-app collision makes
+    // the fault target ambiguous.
+    let mut other = AppBuilder::new("other");
+    let n = other.node("other_node");
+    other.timer(n, "T", Nanos::from_millis(70), WorkModel::constant_millis(1.0));
+    let ambiguous = WorldBuilder::new(1)
+        .app(chain_app())
+        .app(other.build().expect("valid app"))
+        .fault_plan(plan("T", 0, FaultKind::MutePublisher))
+        .build();
+    assert_eq!(ambiguous.err(), Some(WorldError::AmbiguousFaultCallback("T".into())));
+
+    let healthy = WorldBuilder::new(1).app(chain_app()).build();
+    assert!(healthy.is_ok(), "an empty plan never fails validation");
+}
+
+#[test]
+fn faultless_run_is_identical_with_and_without_future_fault() {
+    // A fault activating after the traced window must not perturb the run:
+    // fault checks are pure reads until activation.
+    let run = |plan: Option<FaultPlan>| {
+        let mut b = WorldBuilder::new(2).seed(9).app(chain_app());
+        if let Some(p) = plan {
+            b = b.fault_plan(p);
+        }
+        let mut world = b.build().expect("world builds");
+        let trace = world.trace_run(Nanos::from_secs(1));
+        (trace.ros_events().len(), trace.sched_events().len())
+    };
+    let base = run(None);
+    let gated = run(Some(plan("T", 600_000, FaultKind::Slowdown { factor: 9.0 })));
+    assert_eq!(base, gated, "a fault far in the future must not change the traced window");
+}

@@ -83,6 +83,12 @@ impl Nanos {
         self.0 as f64 / 1_000_000_000.0
     }
 
+    /// Scales the duration by a factor, rounding to the nearest
+    /// nanosecond and clamping negative (or NaN) results to zero.
+    pub fn scaled(self, factor: f64) -> Nanos {
+        Nanos((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+
     /// Saturating subtraction: returns [`Nanos::ZERO`] instead of wrapping.
     pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
         Nanos(self.0.saturating_sub(rhs.0))
@@ -203,5 +209,13 @@ mod tests {
     #[should_panic]
     fn negative_millis_rejected() {
         let _ = Nanos::from_millis_f64(-1.0);
+    }
+
+    #[test]
+    fn scaled_rounds_and_clamps() {
+        assert_eq!(Nanos::from_millis(10).scaled(2.5), Nanos::from_millis(25));
+        assert_eq!(Nanos::from_nanos(3).scaled(0.5), Nanos::from_nanos(2)); // round half up
+        assert_eq!(Nanos::from_millis(10).scaled(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_millis(10).scaled(f64::NAN), Nanos::ZERO);
     }
 }

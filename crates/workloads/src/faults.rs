@@ -1,0 +1,530 @@
+//! Fault-scenario generation: applications that misbehave on schedule,
+//! with ground truth.
+//!
+//! Builds on [`crate::generator`]: generate a valid random application,
+//! then pick fault targets from its spec and produce the matching
+//! [`rtms_ros2::FaultPlan`] *and* the ground-truth list of injected faults
+//! — which callback, which vertex merge key, when, and which alert kind a
+//! correct monitor must raise. The triple `(AppSpec, FaultPlan,
+//! Vec<InjectedFault>)` is everything a detection experiment needs to
+//! compute precision, recall, and detection latency.
+//!
+//! Target selection is deliberately conservative so ground truth stays
+//! *checkable*:
+//!
+//! - slowdowns hit timers or subscribers that make no service calls, so
+//!   the faulted vertex's merge key is computable from the spec alone;
+//! - timer stutters hit timers whose period is short enough that the
+//!   stuttered cadence still yields start-gap samples within one
+//!   observation window ([`FaultScenarioConfig::stutter_max_period`]);
+//! - publisher mutes hit timers whose published topic someone subscribes
+//!   to, so the structural change is observable downstream.
+
+use crate::generator::{generate_app, GeneratorConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtms_core::SynthesisSession;
+use rtms_monitor::{Alert, AlertKind, Baseline, Monitor};
+use rtms_ros2::{AppSpec, CallbackSpec, FaultKind, FaultPlan, FaultSpec, OutputAction, Ros2World};
+use rtms_trace::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// The alert kind a correct monitor raises for an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpectedAlert {
+    /// Execution-time drift (from a [`FaultKind::Slowdown`]).
+    ExecDrift,
+    /// Period drift (from a [`FaultKind::TimerStutter`]).
+    PeriodDrift,
+    /// Structural change (from a [`FaultKind::MutePublisher`]).
+    TopologyChange,
+}
+
+/// Ground truth for one injected fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// The faulted callback's name.
+    pub callback: String,
+    /// The node it belongs to.
+    pub node: String,
+    /// The merge key of the healthy vertex the fault degrades (as
+    /// [`rtms_core::DagVertex::merge_key`] computes it).
+    pub vertex_key: String,
+    /// Merge keys of subscriber vertices transitively fed by the faulted
+    /// callback's publications. A mute starves them, a stutter slows
+    /// them, so alerts naming these keys are *propagation* of this fault,
+    /// not false positives.
+    pub downstream_keys: Vec<String>,
+    /// Activation instant.
+    pub at: Nanos,
+    /// The injected fault.
+    pub fault: FaultKind,
+    /// The alert kind a correct monitor must raise.
+    pub expected: ExpectedAlert,
+}
+
+impl InjectedFault {
+    /// Whether `alert` detects this fault *with the correct kind*: the
+    /// expected alert kind on the faulted vertex, its propagation cone
+    /// (for period drift), or — for topology changes — a diff mentioning
+    /// the faulted timer or anything it feeds.
+    pub fn is_detected_by(&self, alert: &Alert) -> bool {
+        match (&alert.kind, self.expected) {
+            (AlertKind::ExecDrift { key, .. }, ExpectedAlert::ExecDrift) => {
+                key == &self.vertex_key
+            }
+            (AlertKind::PeriodDrift { key, .. }, ExpectedAlert::PeriodDrift) => {
+                key == &self.vertex_key || self.downstream_keys.contains(key)
+            }
+            (AlertKind::TopologyChange { diff }, ExpectedAlert::TopologyChange) => {
+                let prefix = format!("{}|timer|", self.node);
+                let mentions = |k: &String| {
+                    k == &self.vertex_key
+                        || k.starts_with(&prefix)
+                        || self.downstream_keys.contains(k)
+                };
+                diff.added_vertices.iter().any(mentions)
+                    || diff.missing_vertices.iter().any(mentions)
+                    || diff
+                        .added_edges
+                        .iter()
+                        .chain(diff.missing_edges.iter())
+                        .any(|e| mentions(&e.from) || mentions(&e.to))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `alert` is attributable to this fault at all: a correct
+    /// detection ([`InjectedFault::is_detected_by`]) or a known
+    /// propagation effect — a load spike on the node a slowdown degrades.
+    /// Alerts no injected fault accounts for are false positives.
+    pub fn accounts_for(&self, alert: &Alert) -> bool {
+        if self.is_detected_by(alert) {
+            return true;
+        }
+        match (&alert.kind, self.expected) {
+            (AlertKind::LoadSpike { node, .. }, ExpectedAlert::ExecDrift) => {
+                self.vertex_key.starts_with(&format!("{node}|"))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Drives a world through the standard monitoring flow: the first
+/// `baseline_segments` trace segments feed one cumulative
+/// [`SynthesisSession`] whose model becomes the healthy [`Baseline`];
+/// every later segment (up to `total_segments`) is synthesized into a
+/// per-window snapshot — a fresh session sharing the learned node-name
+/// map — and fed to a [`Monitor`]. Returns the monitor and every raised
+/// alert tagged with the global segment index that triggered it.
+///
+/// This is the harness behind the `monitoring` experiment binary and the
+/// monitor's property suites; sharing it keeps their scoring identical.
+///
+/// # Panics
+///
+/// Panics unless `0 < baseline_segments < total_segments`.
+pub fn monitor_run(
+    world: &mut Ros2World,
+    segment: Nanos,
+    baseline_segments: usize,
+    total_segments: usize,
+) -> (Monitor, Vec<(usize, Alert)>) {
+    assert!(
+        baseline_segments > 0 && baseline_segments < total_segments,
+        "need 0 < baseline_segments ({baseline_segments}) < total_segments ({total_segments})"
+    );
+    let mut baseline_session = SynthesisSession::new();
+    let mut monitor: Option<Monitor> = None;
+    let mut alerts: Vec<(usize, Alert)> = Vec::new();
+    let total = Nanos::from_nanos(segment.as_nanos() * total_segments as u64);
+    world.trace_segments(total, segment, |seg| {
+        if seg.index() < baseline_segments {
+            baseline_session.feed_segment(&seg);
+            if seg.index() == baseline_segments - 1 {
+                monitor = Some(Monitor::new(Baseline::from_dag(&baseline_session.model())));
+            }
+        } else {
+            let mut window = SynthesisSession::with_names(baseline_session.names().clone());
+            window.feed_segment(&seg);
+            let snapshot = window.model();
+            let m = monitor.as_mut().expect("baseline precedes monitoring");
+            for alert in m.observe(&snapshot, segment) {
+                alerts.push((seg.index(), alert));
+            }
+        }
+    });
+    (monitor.expect("baseline_segments > 0"), alerts)
+}
+
+/// A generated application together with its fault plan and ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// The (healthy) application description.
+    pub app: AppSpec,
+    /// The faults to attach via
+    /// [`rtms_ros2::WorldBuilder::fault_plan`](rtms_ros2::WorldBuilder).
+    pub plan: FaultPlan,
+    /// One entry per injected fault, in injection order.
+    pub truth: Vec<InjectedFault>,
+}
+
+/// Tuning knobs of [`generate_fault_scenario`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenarioConfig {
+    /// Configuration for the underlying application generator.
+    pub app: GeneratorConfig,
+    /// Number of faults to inject (best effort: fewer if the generated
+    /// application offers fewer eligible targets).
+    pub faults: usize,
+    /// Activation instants are drawn uniformly from this window.
+    pub window: (Nanos, Nanos),
+    /// Slowdown factor range (inclusive).
+    pub slowdown_factor: (f64, f64),
+    /// Timer-stutter factor range (inclusive).
+    pub stutter_factor: (f64, f64),
+    /// Only timers with a period up to this are stutter targets, so the
+    /// stuttered cadence still produces start gaps inside one observation
+    /// window.
+    pub stutter_max_period: Nanos,
+}
+
+impl FaultScenarioConfig {
+    /// A configuration injecting `faults` faults activating inside
+    /// `window`, with the application shape of [`monitoring_app_config`]
+    /// and detection-friendly default factors.
+    pub fn new(faults: usize, window: (Nanos, Nanos)) -> FaultScenarioConfig {
+        FaultScenarioConfig {
+            app: monitoring_app_config(),
+            faults,
+            window,
+            slowdown_factor: (5.0, 7.0),
+            stutter_factor: (2.0, 2.2),
+            stutter_max_period: Nanos::from_millis(125),
+        }
+    }
+}
+
+/// The application shape used by monitoring experiments and suites:
+/// briskly firing callbacks (20–80 ms timer periods), so every callback
+/// produces enough samples per observation window for envelope capture
+/// and per-window drift judgment.
+pub fn monitoring_app_config() -> GeneratorConfig {
+    GeneratorConfig {
+        period_ms: (20, 80),
+        work_ms: (0.1, 1.0),
+        ..GeneratorConfig::default()
+    }
+}
+
+/// A fault target candidate scraped from the spec.
+struct Candidate {
+    node: String,
+    name: String,
+    is_timer: bool,
+    period: Nanos,
+    vertex_key: String,
+    /// Plain published topics (what a mute silences).
+    publishes: Vec<String>,
+}
+
+/// The names of callbacks transitively fed by `topics` — everything a
+/// mute of those topics starves (or a stutter slows): subscribers of the
+/// topics, whatever *they* publish, and the outputs of any synchronizer
+/// one of them belongs to.
+fn fed_by(app: &AppSpec, topics: &[String]) -> std::collections::BTreeSet<String> {
+    use std::collections::BTreeSet;
+    let mut topics: BTreeSet<String> = topics.iter().cloned().collect();
+    let mut callbacks: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut grew = false;
+        for node in &app.nodes {
+            for cb in &node.callbacks {
+                let CallbackSpec::Subscriber { name, topic, outputs, .. } = cb else { continue };
+                if !topics.contains(topic) || callbacks.contains(name) {
+                    continue;
+                }
+                callbacks.insert(name.clone());
+                grew = true;
+                for out in outputs {
+                    if let OutputAction::Publish(t) = out {
+                        grew |= topics.insert(t.clone());
+                    }
+                }
+            }
+            for group in &node.sync_groups {
+                // A synchronizer fires only when every member has fresh
+                // data: one starved member starves its outputs.
+                if group.members.iter().any(|m| callbacks.contains(m)) {
+                    for t in &group.outputs {
+                        grew |= topics.insert(t.clone());
+                    }
+                }
+            }
+        }
+        if !grew {
+            return callbacks;
+        }
+    }
+}
+
+/// Generates an application plus a seeded fault plan and its ground truth.
+///
+/// Deterministic per `(seed, config)`. The number of injected faults is
+/// `min(config.faults, eligible targets)` — each callback is faulted at
+/// most once, and fault kinds rotate slowdown → stutter → mute, skipping
+/// kinds with no remaining eligible target.
+pub fn generate_fault_scenario(seed: u64, config: &FaultScenarioConfig) -> FaultScenario {
+    let app = generate_app(seed, &config.app);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_ca5e);
+
+    // Scrape candidates whose healthy vertex merge key is computable from
+    // the spec: timers and subscribers that make no service calls.
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut subscribed: Vec<&str> = Vec::new();
+    for node in &app.nodes {
+        for cb in &node.callbacks {
+            if let CallbackSpec::Subscriber { topic, .. } = cb {
+                subscribed.push(topic);
+            }
+        }
+    }
+    for node in &app.nodes {
+        for cb in &node.callbacks {
+            let calls_service =
+                cb.outputs().iter().any(|o| matches!(o, OutputAction::CallService { .. }));
+            if calls_service {
+                continue;
+            }
+            let publishes: Vec<String> = cb
+                .outputs()
+                .iter()
+                .filter_map(|o| match o {
+                    OutputAction::Publish(t) => Some(t.clone()),
+                    OutputAction::CallService { .. } => None,
+                })
+                .collect();
+            match cb {
+                CallbackSpec::Timer { name, period, .. } => {
+                    let mut outs = publishes.clone();
+                    outs.sort();
+                    candidates.push(Candidate {
+                        node: node.name.clone(),
+                        name: name.clone(),
+                        is_timer: true,
+                        period: *period,
+                        vertex_key: format!("{}|timer|{}", node.name, outs.join(",")),
+                        publishes,
+                    });
+                }
+                CallbackSpec::Subscriber { name, topic, .. } => {
+                    candidates.push(Candidate {
+                        node: node.name.clone(),
+                        name: name.clone(),
+                        is_timer: false,
+                        period: Nanos::ZERO,
+                        vertex_key: format!("{}|subscriber|{}", node.name, topic),
+                        publishes,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let uniform = |rng: &mut StdRng, (lo, hi): (f64, f64)| {
+        if lo >= hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        }
+    };
+    let draw_at = |rng: &mut StdRng| {
+        let (lo, hi) = config.window;
+        if lo >= hi {
+            lo
+        } else {
+            Nanos::from_nanos(rng.gen_range(lo.as_nanos()..=hi.as_nanos()))
+        }
+    };
+
+    let mut used: Vec<bool> = candidates.iter().map(|_| false).collect();
+    // Callbacks perturbed downstream of an already-chosen mute/stutter:
+    // not eligible as further targets (a starved callback cannot exhibit
+    // its own detectable drift).
+    let mut perturbed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut plan = FaultPlan::new();
+    let mut truth: Vec<InjectedFault> = Vec::new();
+    let kinds = [ExpectedAlert::ExecDrift, ExpectedAlert::PeriodDrift, ExpectedAlert::TopologyChange];
+    // Start the kind rotation at a seed-dependent offset so scenarios with
+    // few faults still cover all kinds across a seed sweep.
+    let mut kind_cursor = (seed % kinds.len() as u64) as usize;
+    while truth.len() < config.faults {
+        // Rotate through the kinds until one still has an eligible target.
+        let mut chosen: Option<(usize, ExpectedAlert)> = None;
+        for probe in 0..kinds.len() {
+            let expected = kinds[(kind_cursor + probe) % kinds.len()];
+            let eligible: Vec<usize> = candidates
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| {
+                    if used[*i] || perturbed.contains(&c.name) {
+                        return false;
+                    }
+                    let independent = || {
+                        // The fault's propagation cone must not touch an
+                        // already-chosen target.
+                        let cone = fed_by(&app, &c.publishes);
+                        truth.iter().all(|t| !cone.contains(&t.callback))
+                    };
+                    match expected {
+                        ExpectedAlert::ExecDrift => true,
+                        ExpectedAlert::PeriodDrift => {
+                            c.is_timer
+                                && c.period <= config.stutter_max_period
+                                && independent()
+                        }
+                        ExpectedAlert::TopologyChange => {
+                            c.is_timer
+                                && c.publishes
+                                    .iter()
+                                    .any(|t| subscribed.iter().any(|s| s == t))
+                                && independent()
+                        }
+                    }
+                })
+                .map(|(i, _)| i)
+                .collect();
+            if !eligible.is_empty() {
+                chosen = Some((eligible[rng.gen_range(0..eligible.len())], expected));
+                kind_cursor = (kind_cursor + probe + 1) % kinds.len();
+                break;
+            }
+        }
+        let Some((idx, expected)) = chosen else { break };
+        used[idx] = true;
+        let c = &candidates[idx];
+        let at = draw_at(&mut rng);
+        let fault = match expected {
+            ExpectedAlert::ExecDrift => {
+                FaultKind::Slowdown { factor: uniform(&mut rng, config.slowdown_factor) }
+            }
+            ExpectedAlert::PeriodDrift => {
+                FaultKind::TimerStutter { factor: uniform(&mut rng, config.stutter_factor) }
+            }
+            ExpectedAlert::TopologyChange => FaultKind::MutePublisher,
+        };
+        let downstream = match expected {
+            ExpectedAlert::ExecDrift => std::collections::BTreeSet::new(),
+            _ => fed_by(&app, &c.publishes),
+        };
+        let downstream_keys: Vec<String> = candidates
+            .iter()
+            .filter(|d| downstream.contains(&d.name))
+            .map(|d| d.vertex_key.clone())
+            .collect();
+        perturbed.extend(downstream.iter().cloned());
+        plan.push(FaultSpec { callback: c.name.clone(), at, kind: fault.clone() });
+        truth.push(InjectedFault {
+            callback: c.name.clone(),
+            node: c.node.clone(),
+            vertex_key: c.vertex_key.clone(),
+            downstream_keys,
+            at,
+            fault,
+            expected,
+        });
+    }
+
+    FaultScenario { app, plan, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtms_ros2::WorldBuilder;
+
+    fn cfg() -> FaultScenarioConfig {
+        FaultScenarioConfig::new(3, (Nanos::from_secs(1), Nanos::from_secs(2)))
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_fault_scenario(11, &cfg()), generate_fault_scenario(11, &cfg()));
+        assert_ne!(
+            generate_fault_scenario(11, &cfg()).truth,
+            generate_fault_scenario(12, &cfg()).truth
+        );
+    }
+
+    #[test]
+    fn plans_build_valid_worlds() {
+        for seed in 0..20 {
+            let s = generate_fault_scenario(seed, &cfg());
+            assert!(!s.truth.is_empty(), "seed {seed}: no eligible fault target");
+            let world = WorldBuilder::new(2)
+                .seed(seed)
+                .app(s.app.clone())
+                .fault_plan(s.plan.clone())
+                .build();
+            assert!(world.is_ok(), "seed {seed}: {:?}", world.err());
+        }
+    }
+
+    #[test]
+    fn truth_matches_plan_and_constraints() {
+        for seed in 0..20 {
+            let s = generate_fault_scenario(seed, &cfg());
+            assert_eq!(s.plan.faults().len(), s.truth.len());
+            for (spec, t) in s.plan.faults().iter().zip(&s.truth) {
+                assert_eq!(spec.callback, t.callback);
+                assert_eq!(spec.at, t.at);
+                assert!(t.at >= Nanos::from_secs(1) && t.at <= Nanos::from_secs(2));
+                match (&t.fault, t.expected) {
+                    (FaultKind::Slowdown { factor }, ExpectedAlert::ExecDrift) => {
+                        assert!(*factor >= 5.0 && *factor <= 7.0)
+                    }
+                    (FaultKind::TimerStutter { factor }, ExpectedAlert::PeriodDrift) => {
+                        assert!(*factor >= 2.0 && *factor <= 2.2)
+                    }
+                    (FaultKind::MutePublisher, ExpectedAlert::TopologyChange) => {}
+                    other => panic!("fault/expectation mismatch: {other:?}"),
+                }
+                assert!(
+                    t.vertex_key.starts_with(&format!("{}|", t.node)),
+                    "key {} must be rooted at node {}",
+                    t.vertex_key,
+                    t.node
+                );
+            }
+            // No callback faulted twice.
+            let mut names: Vec<&str> = s.truth.iter().map(|t| t.callback.as_str()).collect();
+            names.sort();
+            names.dedup();
+            assert_eq!(names.len(), s.truth.len());
+        }
+    }
+
+    #[test]
+    fn vertex_keys_exist_in_healthy_model() {
+        // The ground-truth merge keys must match what synthesis actually
+        // produces for the healthy application.
+        for seed in 0..5 {
+            let s = generate_fault_scenario(seed, &cfg());
+            let mut world =
+                WorldBuilder::new(2).seed(seed).app(s.app.clone()).build().expect("valid");
+            let trace = world.trace_run(Nanos::from_secs(1));
+            let dag = rtms_core::synthesize(&trace);
+            let keys: Vec<String> = dag.vertices().iter().map(|v| v.merge_key()).collect();
+            for t in &s.truth {
+                assert!(
+                    keys.contains(&t.vertex_key),
+                    "seed {seed}: ground-truth key {} not in model keys {keys:?}",
+                    t.vertex_key
+                );
+            }
+        }
+    }
+}

@@ -14,9 +14,13 @@
 //! - [`generator`]: a seeded random application generator producing valid
 //!   [`rtms_ros2::AppSpec`]s of arbitrary shape — the input to scaling
 //!   experiments and property suites beyond the paper's two workloads.
+//! - [`faults`]: a fault-scenario layer on top of the generator — random
+//!   applications plus a seeded [`rtms_ros2::FaultPlan`] and the
+//!   ground-truth fault list, for monitoring/detection experiments.
 
 pub mod avp;
 pub mod case_study;
+pub mod faults;
 pub mod generator;
 pub mod syn;
 
@@ -27,6 +31,10 @@ pub use avp::{
 pub use case_study::{
     case_study_run_conditions, case_study_world, case_study_world_for_run,
     case_study_world_with_condition, run_and_synthesize, synthesize_runs, RunCondition,
+};
+pub use faults::{
+    generate_fault_scenario, monitor_run, monitoring_app_config, ExpectedAlert, FaultScenario,
+    FaultScenarioConfig, InjectedFault,
 };
 pub use generator::{generate_app, GeneratorConfig};
 pub use syn::{syn_app, SYN_EDGE_COUNT, SYN_VERTEX_COUNT};

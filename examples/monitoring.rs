@@ -1,0 +1,70 @@
+//! Runtime monitoring end to end: capture a healthy baseline from the
+//! streaming pipeline, inject a fault mid-run, and watch the monitor's
+//! alert stream catch it.
+//!
+//! Run with: `cargo run --release --example monitoring`
+
+use ros2_tms::monitor::{Baseline, Monitor};
+use ros2_tms::ros2::{AppBuilder, FaultKind, FaultPlan, FaultSpec, WorkModel, WorldBuilder};
+use ros2_tms::synthesis::SynthesisSession;
+use ros2_tms::trace::Nanos;
+
+fn main() {
+    // A small pipeline: a 50 ms camera timer feeding a detector.
+    let mut app = AppBuilder::new("demo");
+    let cam = app.node("camera");
+    app.timer(cam, "grab", Nanos::from_millis(50), WorkModel::uniform_millis(0.5, 1.0))
+        .publishes("/frames");
+    let det = app.node("detector");
+    app.subscriber(det, "detect", "/frames", WorkModel::uniform_millis(1.0, 2.0));
+    let app = app.build().expect("valid app");
+
+    // At t = 2 s the detector regresses to 6x its execution time.
+    let plan: FaultPlan = [FaultSpec {
+        callback: "detect".to_string(),
+        at: Nanos::from_secs(2),
+        kind: FaultKind::Slowdown { factor: 6.0 },
+    }]
+    .into_iter()
+    .collect();
+
+    let mut world =
+        WorldBuilder::new(2).seed(42).app(app).fault_plan(plan).build().expect("world builds");
+
+    // Stream the run as 500 ms segments: the first 2 segments are the
+    // healthy phase the baseline is captured from, the rest are watched.
+    let segment = Nanos::from_millis(500);
+    let mut healthy = SynthesisSession::new();
+    let mut monitor: Option<Monitor> = None;
+    world.trace_segments(Nanos::from_secs(4), segment, |seg| {
+        if seg.index() < 2 {
+            healthy.feed_segment(&seg);
+            if seg.index() == 1 {
+                let baseline = Baseline::from_dag(&healthy.model());
+                println!(
+                    "baseline: {} callback envelopes, topology fingerprint {:#x}",
+                    baseline.len(),
+                    baseline.fingerprint
+                );
+                monitor = Some(Monitor::new(baseline));
+            }
+            return;
+        }
+        // One fresh synthesis per window, sharing the learned node names.
+        let mut window = SynthesisSession::with_names(healthy.names().clone());
+        window.feed_segment(&seg);
+        let snapshot = window.model();
+        for alert in monitor.as_mut().expect("baseline first").observe(&snapshot, segment) {
+            println!("segment {}: {alert}", seg.index());
+            println!("         as JSON: {}", alert.to_json());
+        }
+    });
+
+    let m = monitor.expect("monitor ran");
+    println!(
+        "watched {} windows, {} alerts total",
+        m.segments_observed(),
+        m.alerts_emitted()
+    );
+    assert!(m.alerts_emitted() > 0, "the injected slowdown must be detected");
+}
