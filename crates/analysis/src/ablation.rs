@@ -68,11 +68,11 @@ fn rebuild_with_undecorated_service(dag: &Dag, base: &str) -> Dag {
     use rtms_trace::{CallbackId, Pid};
     use std::collections::HashMap;
 
-    let strip = |t: &str| -> String {
+    let strip = |t: &std::sync::Arc<str>| -> std::sync::Arc<str> {
         if t.starts_with(base) {
-            base.to_string()
+            std::sync::Arc::from(base)
         } else {
-            t.to_string()
+            std::sync::Arc::clone(t)
         }
     };
     // Reconstruct per-node callback lists from the vertices (the inverse
@@ -100,8 +100,8 @@ fn rebuild_with_undecorated_service(dag: &Dag, base: &str) -> Dag {
             pid,
             id: CallbackId::new(next_id),
             kind,
-            in_topic: v.in_topic.as_deref().map(strip),
-            out_topics: v.out_topics.iter().map(|t| strip(t)).collect(),
+            in_topic: v.in_topic.as_ref().map(strip),
+            out_topics: v.out_topics.iter().map(strip).collect(),
             is_sync_subscriber: v.is_sync_member,
             stats: v.stats.clone(),
             exec_times: v.exec_times.clone(),
@@ -145,8 +145,8 @@ mod tests {
             pid: Pid::new(pid),
             id: CallbackId::new(id),
             kind,
-            in_topic: in_topic.map(String::from),
-            out_topics: outs.iter().map(|s| s.to_string()).collect(),
+            in_topic: in_topic.map(std::sync::Arc::from),
+            out_topics: outs.iter().map(|s| std::sync::Arc::from(*s)).collect(),
             is_sync_subscriber: false,
             stats: ExecStats::from_samples([Nanos::from_millis(1)]),
             exec_times: vec![Nanos::from_millis(1)],

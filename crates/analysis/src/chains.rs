@@ -93,8 +93,8 @@ mod tests {
             pid: Pid::new(pid),
             id: CallbackId::new(id),
             kind,
-            in_topic: in_topic.map(String::from),
-            out_topics: outs.iter().map(|s| s.to_string()).collect(),
+            in_topic: in_topic.map(std::sync::Arc::from),
+            out_topics: outs.iter().map(|s| std::sync::Arc::from(*s)).collect(),
             is_sync_subscriber: false,
             stats: ExecStats::from_samples([Nanos::from_millis(wcet_ms)]),
             exec_times: vec![Nanos::from_millis(wcet_ms)],

@@ -87,14 +87,14 @@ pub fn node_loads_across_runs(dags: &[Dag], window: Nanos) -> Vec<NodeLoad> {
 #[derive(Debug, Clone)]
 pub struct LoadAccumulator {
     window: Nanos,
-    sums: std::collections::HashMap<String, f64>,
+    sums: rtms_util::FxHashMap<String, f64>,
     runs: usize,
 }
 
 impl LoadAccumulator {
     /// Creates an accumulator for runs that each observed `window`.
     pub fn new(window: Nanos) -> LoadAccumulator {
-        LoadAccumulator { window, sums: std::collections::HashMap::new(), runs: 0 }
+        LoadAccumulator { window, sums: rtms_util::FxHashMap::default(), runs: 0 }
     }
 
     /// Folds in one run's model; the model can be dropped afterwards.

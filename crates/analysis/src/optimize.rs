@@ -164,8 +164,8 @@ mod tests {
                 } else {
                     CallbackKind::Subscriber
                 },
-                in_topic: in_t.map(String::from),
-                out_topics: out.iter().map(|s| s.to_string()).collect(),
+                in_topic: in_t.map(std::sync::Arc::from),
+                out_topics: out.iter().map(|s| std::sync::Arc::from(*s)).collect(),
                 is_sync_subscriber: false,
                 stats: ExecStats::from_samples(times.iter().copied()),
                 exec_times: times,

@@ -21,8 +21,8 @@ fn chained_lists(nodes: usize, cbs_per_node: usize) -> (Vec<(Pid, CbList)>, Hash
                 pid,
                 id: CallbackId::new(id),
                 kind: CallbackKind::Subscriber,
-                in_topic: Some(format!("/hop{n}_{c}")),
-                out_topics: vec![format!("/hop{}_{c}", n + 1)],
+                in_topic: Some(format!("/hop{n}_{c}").into()),
+                out_topics: vec![format!("/hop{}_{c}", n + 1).into()],
                 is_sync_subscriber: false,
                 stats: ExecStats::from_samples([Nanos::from_millis(1)]),
                 exec_times: vec![Nanos::from_millis(1)],

@@ -260,6 +260,12 @@ impl ExperimentArgs {
         self.extra_parsed(key, default)
     }
 
+    /// A binary-specific free-form string key (e.g. an output path), if
+    /// given.
+    pub fn extra_string(&self, key: &str) -> Option<String> {
+        self.extras.get(key).cloned()
+    }
+
     fn extra_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         match self.extras.get(key) {
             None => default,

@@ -1,0 +1,238 @@
+//! Perf baseline: throughput of the trace→synthesis pipeline over a fixed
+//! scenario matrix, as a machine-readable record of the repo's speed.
+//!
+//! Each scenario co-deploys `apps` generated applications (seeded, so the
+//! matrix is identical across machines and commits) and measures, in
+//! events per wall-clock second:
+//!
+//! - **collect** — segmented trace collection only
+//!   ([`Ros2World::trace_segments_sequential`] into a dropped segment);
+//! - **synthesize** — feeding pre-collected segments through a
+//!   [`SynthesisSession`] and reading the model;
+//! - **end-to-end** — the full pipeline ([`Ros2World::trace_segments`],
+//!   which overlaps collection and synthesis when a second core exists).
+//!
+//! A harness sweep additionally reports multi-run aggregate throughput at
+//! 1 and `threads` worker threads. `out=<path>` writes the JSON report to
+//! a file — `out=BENCH_5.json` at the repo root is the committed baseline
+//! this PR's CI gate compares against (see docs/PERFORMANCE.md).
+//!
+//! Usage: `cargo run --release -p rtms-bench --bin perf -- [secs=2]
+//! [apps=2] [seed=0] [threads=N] [out=path] [format=text|json]`
+
+use rtms_bench::{Defaults, ExperimentArgs, Harness};
+use rtms_core::SynthesisSession;
+use rtms_ros2::{Ros2World, WorldBuilder};
+use rtms_trace::{Nanos, TraceSegment};
+use rtms_workloads::{generate_app, GeneratorConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Segment lengths of the scenario matrix, in simulated milliseconds.
+const SEGMENT_MS: [u64; 2] = [50, 250];
+
+#[derive(Serialize)]
+struct Scenario {
+    name: String,
+    apps: u64,
+    segment_ms: u64,
+    events: u64,
+    segments: usize,
+    collect_events_per_sec: f64,
+    synthesize_events_per_sec: f64,
+    e2e_events_per_sec: f64,
+    peak_watermark: usize,
+    model_vertices: usize,
+}
+
+#[derive(Serialize)]
+struct HarnessSweep {
+    threads: usize,
+    runs: usize,
+    events: u64,
+    events_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench_format: u32,
+    secs: u64,
+    apps: u64,
+    seed: u64,
+    threads: usize,
+    scenarios: Vec<Scenario>,
+    harness: Vec<HarnessSweep>,
+    /// Throughput of the default scenario (`apps` apps, 250 ms segments),
+    /// end-to-end — the single number the CI regression gate tracks.
+    default_e2e_events_per_sec: f64,
+}
+
+fn world(apps: u64, seed: u64) -> Ros2World {
+    let mut b = WorldBuilder::new(4).seed(seed);
+    for i in 0..apps {
+        b = b.app(generate_app(seed.wrapping_add(1000 + i), &GeneratorConfig::default()));
+    }
+    b.build().expect("generated apps deploy")
+}
+
+fn run_scenario(apps: u64, segment_ms: u64, args: &ExperimentArgs) -> Scenario {
+    let duration = args.duration();
+    let seg_len = Nanos::from_millis(segment_ms);
+
+    // Collection only: segments are produced, sorted, and dropped.
+    let mut w = world(apps, args.seed());
+    let t = Instant::now();
+    let mut collected = 0u64;
+    w.trace_segments_sequential(duration, seg_len, |segment| {
+        collected += segment.len() as u64;
+    });
+    let collect_secs = t.elapsed().as_secs_f64();
+
+    // Synthesis only, over pre-collected segments of a fresh identical
+    // world (same seed => same trace).
+    let mut w = world(apps, args.seed());
+    let mut segments: Vec<TraceSegment> = Vec::new();
+    w.trace_segments_sequential(duration, seg_len, |segment| segments.push(segment));
+    let events: u64 = segments.iter().map(|s| s.len() as u64).sum();
+    let t = Instant::now();
+    let mut session = SynthesisSession::new();
+    for segment in &segments {
+        session.feed_segment(segment);
+    }
+    let model = session.model();
+    let synth_secs = t.elapsed().as_secs_f64();
+
+    // End to end: the adaptive pipeline into a fresh session. Feeding is
+    // deliberately by reference — the owned path re-sorts the segment and
+    // pays per-event `Arc` refcount churn when the moved events drop, and
+    // measures slower; by-ref with `Arc<str>` payloads is already
+    // clone-free.
+    let mut w = world(apps, args.seed());
+    let mut e2e_session = SynthesisSession::new();
+    let t = Instant::now();
+    w.trace_segments(duration, seg_len, |segment| {
+        e2e_session.feed_segment(&segment);
+    });
+    let e2e_model = e2e_session.model();
+    let e2e_secs = t.elapsed().as_secs_f64();
+    assert_eq!(e2e_model, model, "pipelined model diverged from the sequential one");
+    assert_eq!(collected, events, "same seed must produce the same trace");
+
+    let eps = |secs: f64| events as f64 / secs.max(1e-12);
+    Scenario {
+        name: format!("apps{apps}_seg{segment_ms}"),
+        apps,
+        segment_ms,
+        events,
+        segments: session.segments_fed(),
+        collect_events_per_sec: eps(collect_secs),
+        synthesize_events_per_sec: eps(synth_secs),
+        e2e_events_per_sec: eps(e2e_secs),
+        peak_watermark: session.peak_watermark(),
+        model_vertices: model.vertices().len(),
+    }
+}
+
+fn run_harness_sweep(threads: usize, args: &ExperimentArgs) -> HarnessSweep {
+    let runs = 4;
+    let apps = args.extra_u64("apps", 2);
+    let seed = args.seed();
+    let harness = Harness::new(runs, args.duration(), seed).threads(threads);
+    let t = Instant::now();
+    let events: u64 = harness
+        .for_each_run(|plan| {
+            let mut w = world(apps, plan.seed);
+            let mut session = SynthesisSession::new();
+            w.trace_segments(args.duration(), Nanos::from_millis(250), |segment| {
+                session.feed_segment(&segment);
+            });
+            let _ = session.model();
+            session.events_fed()
+        })
+        .iter()
+        .sum();
+    let secs = t.elapsed().as_secs_f64();
+    HarnessSweep { threads, runs, events, events_per_sec: events as f64 / secs.max(1e-12) }
+}
+
+fn main() {
+    let args = ExperimentArgs::parse_or_exit(
+        "perf [secs=2] [apps=2] [seed=0] [threads=N] [out=path] [format=text|json]",
+        Defaults::single_run(2, 0),
+        &["apps", "out"],
+    );
+    let apps = args.extra_u64("apps", 2).max(1);
+    let out = args.extra_string("out");
+
+    eprintln!(
+        "perf: scenario matrix over {} generated apps x {:?} ms segments, {}s each ...",
+        apps,
+        SEGMENT_MS,
+        args.secs()
+    );
+
+    let mut scenarios = Vec::new();
+    for a in [1, apps] {
+        for seg in SEGMENT_MS {
+            scenarios.push(run_scenario(a, seg, &args));
+        }
+        if apps == 1 {
+            break; // apps=1 would duplicate the first row
+        }
+    }
+
+    let mut harness = vec![run_harness_sweep(1, &args)];
+    if args.threads() > 1 {
+        harness.push(run_harness_sweep(args.threads(), &args));
+    }
+
+    let default_e2e = scenarios
+        .iter()
+        .find(|s| s.apps == apps && s.segment_ms == 250)
+        .map(|s| s.e2e_events_per_sec)
+        .unwrap_or_default();
+    let report = Report {
+        bench_format: 1,
+        secs: args.secs(),
+        apps,
+        seed: args.seed(),
+        threads: args.threads(),
+        scenarios,
+        harness,
+        default_e2e_events_per_sec: default_e2e,
+    };
+
+    let json = serde_json::to_string(&report).expect("report serializes");
+    if let Some(path) = out {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("perf: wrote {path}");
+    }
+    if args.json() {
+        println!("{json}");
+        return;
+    }
+
+    println!("Perf baseline: {} simulated seconds per scenario, seed {}", report.secs, report.seed);
+    println!();
+    println!("scenario        events  collect ev/s  synthesize ev/s  end-to-end ev/s  watermark");
+    for s in &report.scenarios {
+        println!(
+            "{:<14} {:>7}  {:>12.0}  {:>15.0}  {:>15.0}  {:>9}",
+            s.name,
+            s.events,
+            s.collect_events_per_sec,
+            s.synthesize_events_per_sec,
+            s.e2e_events_per_sec,
+            s.peak_watermark
+        );
+    }
+    println!();
+    for h in &report.harness {
+        println!(
+            "harness: {} runs at {} thread(s): {} events, {:.0} ev/s aggregate",
+            h.runs, h.threads, h.events, h.events_per_sec
+        );
+    }
+    println!();
+    println!("default scenario end-to-end: {:.0} events/s", report.default_e2e_events_per_sec);
+}

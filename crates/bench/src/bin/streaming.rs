@@ -36,6 +36,11 @@ struct Report {
     model_vertices: usize,
     model_edges: usize,
     streaming_synth_ms: f64,
+    /// Wall-clock of the whole pipelined collect→synthesize run, from
+    /// first segment collection to the final model.
+    e2e_ms: f64,
+    /// Events through the end-to-end pipeline per wall-clock second.
+    e2e_events_per_sec: f64,
     compared: bool,
     batch_synth_ms: f64,
     models_equal: bool,
@@ -64,27 +69,34 @@ fn main() {
         .expect("SYN app is valid");
 
     let mut session = SynthesisSession::new();
-    let mut full = compare.then(Trace::new);
+    // Comparison bookkeeping stays off the timed path: segments are kept
+    // by move (no per-event clones inside the e2e window) and the
+    // reference trace is assembled afterwards.
+    let mut kept: Vec<rtms_trace::TraceSegment> = Vec::new();
     let mut streaming_synth = 0.0f64;
+    let e2e_start = Instant::now();
     world.trace_segments(args.duration(), Nanos::from_millis(segment_ms), |segment| {
-        if let Some(full) = full.as_mut() {
-            for e in segment.ros_events() {
-                full.push_ros(e.clone());
-            }
-            for e in segment.sched_events() {
-                full.push_sched(e.clone());
-            }
-        }
         let t = Instant::now();
         session.feed_segment(&segment);
         streaming_synth += t.elapsed().as_secs_f64();
+        if compare {
+            kept.push(segment);
+        }
     });
     let t = Instant::now();
     let streamed = session.model();
     streaming_synth += t.elapsed().as_secs_f64();
+    let e2e = e2e_start.elapsed().as_secs_f64();
 
-    let (batch_synth_ms, models_equal) = match full {
-        Some(mut full) => {
+    let (batch_synth_ms, models_equal) = match compare {
+        true => {
+            let (mut ros, mut sched) = (Vec::new(), Vec::new());
+            for segment in kept {
+                let (r, s) = segment.into_trace().into_events();
+                ros.extend(r);
+                sched.extend(s);
+            }
+            let mut full = Trace::from_events(ros, sched);
             full.sort_by_time();
             let t = Instant::now();
             let batch = synthesize(&full);
@@ -93,7 +105,7 @@ fn main() {
             let b = serde_json::to_string(&streamed).expect("model serializes");
             (ms, a == b)
         }
-        None => (0.0, true),
+        false => (0.0, true),
     };
 
     // The retained-memory contract: the session's peak watermark (segment
@@ -115,6 +127,8 @@ fn main() {
         model_vertices: streamed.vertices().len(),
         model_edges: streamed.edges().len(),
         streaming_synth_ms: streaming_synth * 1e3,
+        e2e_ms: e2e * 1e3,
+        e2e_events_per_sec: session.events_fed() as f64 / e2e.max(1e-12),
         compared: compare,
         batch_synth_ms,
         models_equal,
@@ -150,6 +164,10 @@ fn main() {
         report.model_vertices, report.model_edges
     );
     println!("synthesis: streaming {:.2} ms", report.streaming_synth_ms);
+    println!(
+        "e2e:       {:.2} ms collect+synthesize pipelined, {:.0} events/s",
+        report.e2e_ms, report.e2e_events_per_sec
+    );
     if report.compared {
         println!(
             "           batch     {:.2} ms on the materialized trace (models byte-identical: {})",

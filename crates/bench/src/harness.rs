@@ -80,6 +80,15 @@ impl Harness {
         self.duration
     }
 
+    /// The configured worker-thread count. Defaults to
+    /// `std::thread::available_parallelism()` — never a hard-coded
+    /// constant — so the fan-out uses every core the machine actually
+    /// offers; results are byte-identical for any value (see the module
+    /// docs and `tests/determinism.rs`).
+    pub fn worker_threads(&self) -> usize {
+        self.threads
+    }
+
     /// The seeded plan of every run, in run order.
     pub fn plans(&self) -> Vec<RunPlan> {
         (0..self.runs)

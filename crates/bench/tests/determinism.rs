@@ -28,6 +28,25 @@ fn syn_merged_dot_identical_across_thread_counts() {
     assert_eq!(sequential, parallel);
 }
 
+/// The default worker-thread count is the machine's actual parallelism —
+/// not a hard-coded constant — and the merged model at that default is
+/// byte-identical to the single-threaded one, whatever the count turns
+/// out to be on the machine running this test.
+#[test]
+fn default_threads_track_available_parallelism_and_stay_deterministic() {
+    let harness = Harness::new(3, Nanos::from_millis(300), 11);
+    let expected =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    assert_eq!(harness.worker_threads(), expected);
+
+    let build = |plan: &rtms_bench::RunPlan| {
+        WorldBuilder::new(4).seed(plan.seed).app(syn_app(1.0)).build().expect("SYN world")
+    };
+    let at_default = harness.merged(build).to_dot();
+    let at_one = Harness::new(3, Nanos::from_millis(300), 11).threads(1).merged(build).to_dot();
+    assert_eq!(at_default, at_one);
+}
+
 /// The table2 path (AVP + SYN with per-run conditions, configured through
 /// the shared parser) is equally thread-count-invariant.
 #[test]

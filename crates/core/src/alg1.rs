@@ -6,15 +6,26 @@ use crate::stats::ExecStats;
 use rtms_trace::{
     CallbackId, CallbackKind, Nanos, Pid, RosEvent, RosPayload, SourceTimestamp, Topic, Trace,
 };
-use std::collections::HashMap;
+use rtms_util::FxHashMap;
+use std::sync::Arc;
 
 /// Decoration used when the caller/client of a service interaction cannot
 /// be identified in the trace (e.g. the matching events fell outside the
 /// tracing window).
 pub(crate) const UNKNOWN: &str = "unknown";
 
-pub(crate) fn cat(topic: &Topic, suffix: &str) -> String {
-    format!("{}#{}", topic.name(), suffix)
+pub(crate) fn cat(topic: &Topic, suffix: &str) -> Arc<str> {
+    rtms_util::concat3(topic.name(), "#", suffix)
+}
+
+/// Decorates `topic` with a callback identity, or with [`UNKNOWN`] when
+/// the peer could not be identified — formatting straight into the shared
+/// scratch buffer, with no intermediate `to_string`.
+pub(crate) fn cat_id(topic: &Topic, id: Option<CallbackId>) -> Arc<str> {
+    match id {
+        Some(id) => rtms_util::concat2_fmt(topic.name(), "#", format_args!("{id}")),
+        None => cat(topic, UNKNOWN),
+    }
 }
 
 /// A callback instance being assembled while walking the event stream.
@@ -23,8 +34,8 @@ struct Wip {
     kind: CallbackKind,
     start: Nanos,
     id: Option<CallbackId>,
-    in_topic: Option<String>,
-    out_topics: Vec<String>,
+    in_topic: Option<Arc<str>>,
+    out_topics: Vec<Arc<str>>,
     sync: bool,
 }
 
@@ -38,17 +49,18 @@ struct EventIndex {
     all: Vec<RosEvent>,
     /// `srcTS` of `dds_write` events -> `(topic, index in all)` per write,
     /// first write per `(topic, srcTS)` wins.
-    writes: HashMap<SourceTimestamp, Vec<(Topic, usize)>>,
+    writes: FxHashMap<SourceTimestamp, Vec<(Topic, usize)>>,
     /// `srcTS` of `take_response` events -> per-topic indices in `all`.
-    responses: HashMap<SourceTimestamp, Vec<(Topic, Vec<usize>)>>,
+    responses: FxHashMap<SourceTimestamp, Vec<(Topic, Vec<usize>)>>,
 }
 
 impl EventIndex {
     fn build(trace: &Trace) -> EventIndex {
         let mut all: Vec<RosEvent> = trace.ros_events().to_vec();
         all.sort_by_key(|e| e.time);
-        let mut writes: HashMap<SourceTimestamp, Vec<(Topic, usize)>> = HashMap::new();
-        let mut responses: HashMap<SourceTimestamp, Vec<(Topic, Vec<usize>)>> = HashMap::new();
+        let mut writes: FxHashMap<SourceTimestamp, Vec<(Topic, usize)>> = FxHashMap::default();
+        let mut responses: FxHashMap<SourceTimestamp, Vec<(Topic, Vec<usize>)>> =
+            FxHashMap::default();
         for (i, e) in all.iter().enumerate() {
             match &e.payload {
                 RosPayload::DdsWrite { topic, src_ts } => {
@@ -192,7 +204,7 @@ fn extract_callbacks_indexed(pid: Pid, trace: &Trace, index: &EventIndex) -> CbL
             RosPayload::TakeData { callback, topic, .. } => {
                 if let Some(w) = wip.as_mut() {
                     w.id = Some(*callback);
-                    w.in_topic = Some(topic.name().to_string());
+                    w.in_topic = Some(topic.name_arc().clone());
                 }
             }
             RosPayload::TakeRequest { callback, topic, src_ts } => {
@@ -221,7 +233,7 @@ fn extract_callbacks_indexed(pid: Pid, trace: &Trace, index: &EventIndex) -> CbL
                             .map_or_else(|| UNKNOWN.to_string(), |c| c.to_string());
                         cat(topic, &client)
                     } else {
-                        topic.name().to_string()
+                        topic.name_arc().clone()
                     };
                     w.out_topics.push(out);
                 }
@@ -306,7 +318,7 @@ mod tests {
         let cbs = extract_callbacks(Pid::new(1), &trace);
         let e = &cbs.entries()[0];
         assert_eq!(e.in_topic.as_deref(), Some("/in"));
-        assert_eq!(e.out_topics, vec!["/out".to_string()]);
+        assert_eq!(e.out_topics, [Arc::from("/out")]);
         assert_eq!(e.stats.mwcet(), Some(Nanos::from_millis(4)));
     }
 
@@ -398,9 +410,9 @@ mod tests {
         assert!(in_topics.contains(&"/svRequest#cb:0x11"), "{in_topics:?}");
         assert!(in_topics.contains(&"/svRequest#cb:0x12"), "{in_topics:?}");
         // Response topics are decorated with the dispatched client's ID.
-        let outs: Vec<&String> = sv.entries().iter().flat_map(|e| &e.out_topics).collect();
-        assert!(outs.iter().any(|t| t.as_str() == "/svReply#cb:0x21"), "{outs:?}");
-        assert!(outs.iter().any(|t| t.as_str() == "/svReply#cb:0x22"), "{outs:?}");
+        let outs: Vec<&Arc<str>> = sv.entries().iter().flat_map(|e| &e.out_topics).collect();
+        assert!(outs.iter().any(|t| &***t == "/svReply#cb:0x21"), "{outs:?}");
+        assert!(outs.iter().any(|t| &***t == "/svReply#cb:0x22"), "{outs:?}");
     }
 
     #[test]
@@ -412,7 +424,7 @@ mod tests {
             .iter()
             .find(|e| e.kind == CallbackKind::Timer)
             .expect("timer entry");
-        assert_eq!(timer.out_topics, vec!["/svRequest#cb:0x11".to_string()]);
+        assert_eq!(timer.out_topics, [Arc::from("/svRequest#cb:0x11")]);
     }
 
     #[test]
@@ -443,8 +455,8 @@ mod tests {
             .find(|e| e.kind == CallbackKind::Client)
             .and_then(|e| e.in_topic.clone())
             .expect("client in");
-        let sv_outs: Vec<&String> = sv.entries().iter().flat_map(|e| &e.out_topics).collect();
-        assert!(sv_outs.iter().any(|t| **t == client_in));
+        let sv_outs: Vec<&Arc<str>> = sv.entries().iter().flat_map(|e| &e.out_topics).collect();
+        assert!(sv_outs.iter().any(|t| ***t == *client_in));
     }
 
     #[test]

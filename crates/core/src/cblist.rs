@@ -3,6 +3,7 @@
 use crate::stats::ExecStats;
 use rtms_trace::{CallbackId, CallbackKind, Nanos, Pid};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One callback entry of a node's `CBlist` — the architectural and timing
 /// attributes Algorithm 1 extracts.
@@ -19,10 +20,13 @@ pub struct CallbackRecord {
     pub id: CallbackId,
     /// Timer / subscriber / service / client.
     pub kind: CallbackKind,
-    /// Decorated subscribed topic, if any (timers have none).
-    pub in_topic: Option<String>,
+    /// Decorated subscribed topic, if any (timers have none). Shared with
+    /// the originating [`rtms_trace::Topic`] when undecorated — extraction
+    /// never copies a plain topic name.
+    pub in_topic: Option<Arc<str>>,
     /// Decorated published topics, in first-seen order, deduplicated.
-    pub out_topics: Vec<String>,
+    /// Plain names are shared, not copied, like `in_topic`.
+    pub out_topics: Vec<Arc<str>>,
     /// Whether the callback feeds a `message_filters` synchronizer (P7).
     pub is_sync_subscriber: bool,
     /// Measured execution-time statistics across instances.
@@ -97,6 +101,57 @@ impl CbList {
         }
     }
 
+    /// Folds one completed instance into the list from its parts — the
+    /// allocation-lean twin of [`CbList::add_instance`] for the streaming
+    /// hot path. When the matching entry already exists (the overwhelming
+    /// case in a long run), only the new sample is appended: no
+    /// single-element vectors are materialized and the moved `outs` merge
+    /// without cloning. Behaviour is identical to building a one-sample
+    /// [`CallbackRecord`] and calling [`CbList::add_instance`].
+    #[allow(clippy::too_many_arguments)] // the parts of one instance, hot path
+    pub fn fold_instance(
+        &mut self,
+        pid: Pid,
+        id: CallbackId,
+        kind: CallbackKind,
+        in_topic: Option<Arc<str>>,
+        outs: Vec<Arc<str>>,
+        sync: bool,
+        exec: Nanos,
+        start: Nanos,
+    ) {
+        let found = self.entries.iter_mut().find(|e| {
+            e.pid == pid
+                && e.kind == kind
+                && e.id == id
+                && (kind != CallbackKind::Service || e.in_topic == in_topic)
+        });
+        match found {
+            Some(entry) => {
+                for t in outs {
+                    if !entry.out_topics.contains(&t) {
+                        entry.out_topics.push(t);
+                    }
+                }
+                entry.is_sync_subscriber |= sync;
+                entry.stats.push(exec);
+                entry.exec_times.push(exec);
+                entry.start_times.push(start);
+            }
+            None => self.entries.push(CallbackRecord {
+                pid,
+                id,
+                kind,
+                in_topic,
+                out_topics: outs,
+                is_sync_subscriber: sync,
+                stats: ExecStats::from_samples([exec]),
+                exec_times: vec![exec],
+                start_times: vec![start],
+            }),
+        }
+    }
+
     /// The callback entries, in first-seen order.
     pub fn entries(&self) -> &[CallbackRecord] {
         &self.entries
@@ -140,7 +195,7 @@ mod tests {
             pid: Pid::new(1),
             id: CallbackId::new(id),
             kind,
-            in_topic: in_topic.map(String::from),
+            in_topic: in_topic.map(Arc::from),
             out_topics: vec![],
             is_sync_subscriber: false,
             stats: ExecStats::from_samples([Nanos::from_millis(et_ms)]),
@@ -180,7 +235,7 @@ mod tests {
         list.add_instance(a);
         list.add_instance(b);
         assert_eq!(list.len(), 1);
-        assert_eq!(list.entries()[0].out_topics, vec!["/x".to_string(), "/y".to_string()]);
+        assert_eq!(list.entries()[0].out_topics, [Arc::from("/x"), Arc::from("/y")]);
     }
 
     #[test]
@@ -206,6 +261,41 @@ mod tests {
         list.add_instance(a);
         list.add_instance(rec(5, CallbackKind::Subscriber, Some("/t"), 2));
         assert!(list.entries()[0].is_sync_subscriber);
+    }
+
+    #[test]
+    fn fold_instance_equals_add_instance() {
+        // The lean fold must produce byte-identical lists to the record
+        // path, across entry creation, service splitting, out-topic
+        // dedup, and the sticky sync flag.
+        type Sample<'a> = (u64, CallbackKind, Option<&'a str>, &'a [&'a str], bool, u64);
+        let samples: [Sample<'_>; 6] = [
+            (1, CallbackKind::Timer, None, &["/a"], false, 2),
+            (1, CallbackKind::Timer, None, &["/a", "/b"], false, 4),
+            (9, CallbackKind::Service, Some("/svRequest#cb:0x1"), &[], false, 1),
+            (9, CallbackKind::Service, Some("/svRequest#cb:0x2"), &[], false, 3),
+            (5, CallbackKind::Subscriber, Some("/t"), &[], true, 7),
+            (5, CallbackKind::Subscriber, Some("/t"), &[], false, 9),
+        ];
+        let mut via_records = CbList::new();
+        let mut via_fold = CbList::new();
+        for (id, kind, in_topic, outs, sync, ms) in samples {
+            let mut r = rec(id, kind, in_topic, ms);
+            r.out_topics = outs.iter().map(|s| Arc::from(*s)).collect();
+            r.is_sync_subscriber = sync;
+            via_records.add_instance(r);
+            via_fold.fold_instance(
+                Pid::new(1),
+                CallbackId::new(id),
+                kind,
+                in_topic.map(Arc::from),
+                outs.iter().map(|s| Arc::from(*s)).collect(),
+                sync,
+                Nanos::from_millis(ms),
+                Nanos::ZERO,
+            );
+        }
+        assert_eq!(via_records, via_fold);
     }
 
     #[test]

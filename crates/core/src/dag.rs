@@ -3,9 +3,11 @@
 use crate::cblist::CbList;
 use crate::stats::ExecStats;
 use rtms_trace::{CallbackId, CallbackKind, Nanos, Pid};
+use rtms_util::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a vertex within a [`Dag`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -39,10 +41,12 @@ pub struct DagVertex {
     /// Callback kind or AND junction.
     pub kind: VertexKind,
     /// Canonicalized subscribed topic (callbacks only; see
-    /// [`Dag::from_cblists`] for the canonical decoration format).
-    pub in_topic: Option<String>,
-    /// Canonicalized published topics.
-    pub out_topics: Vec<String>,
+    /// [`Dag::from_cblists`] for the canonical decoration format). An
+    /// undecorated topic shares the callback record's name allocation.
+    pub in_topic: Option<Arc<str>>,
+    /// Canonicalized published topics. Undecorated names are shared, like
+    /// `in_topic`.
+    pub out_topics: Vec<Arc<str>>,
     /// Whether this callback feeds a synchronizer (its outputs route
     /// through the node's `&` junction).
     pub is_sync_member: bool,
@@ -67,7 +71,7 @@ impl DagVertex {
     pub fn merge_key(&self) -> String {
         let detail = match (&self.in_topic, &self.kind) {
             (_, VertexKind::AndJunction) => String::from("&"),
-            (Some(t), _) => t.clone(),
+            (Some(t), _) => t.to_string(),
             (None, _) => {
                 let mut outs = self.out_topics.clone();
                 outs.sort();
@@ -85,8 +89,9 @@ pub struct DagEdge {
     pub from: VertexId,
     /// Consumer task.
     pub to: VertexId,
-    /// The (canonicalized) topic carrying the data.
-    pub topic: String,
+    /// The (canonicalized) topic carrying the data, shared with the
+    /// consumer vertex's `in_topic`.
+    pub topic: Arc<str>,
 }
 
 /// The synthesized timing model: callbacks as tasks, DDS communication as
@@ -126,7 +131,7 @@ impl Dag {
 
         // Canonical label per callback ID, across all nodes. Suffixes for
         // colliding base labels are assigned in (label, ID) order.
-        let mut canon: HashMap<CallbackId, String> = HashMap::new();
+        let mut canon: FxHashMap<CallbackId, String> = FxHashMap::default();
         let mut labeled: Vec<(String, CallbackId)> = Vec::new();
         for (pid, list) in lists {
             for rec in list.entries() {
@@ -152,16 +157,17 @@ impl Dag {
             *n += 1;
             canon.insert(id, label);
         }
-        let rewrite = |topic: &str| -> String {
+        let rewrite = |topic: &Arc<str>| -> Arc<str> {
             match topic.split_once("#cb:") {
                 Some((base, hex)) => {
                     let id = u64::from_str_radix(hex.trim_start_matches("0x"), 16).ok();
                     match id.and_then(|i| canon.get(&CallbackId::new(i))) {
-                        Some(label) => format!("{base}#{label}"),
-                        None => topic.to_string(),
+                        Some(label) => rtms_util::concat3(base, "#", label),
+                        None => Arc::clone(topic),
                     }
                 }
-                None => topic.to_string(),
+                // Undecorated: share the record's allocation untouched.
+                None => Arc::clone(topic),
             }
         };
 
@@ -176,8 +182,8 @@ impl Dag {
                 dag.vertices.push(DagVertex {
                     node: node_of(*pid),
                     kind: VertexKind::Callback(rec.kind),
-                    in_topic: rec.in_topic.as_deref().map(rewrite),
-                    out_topics: rec.out_topics.iter().map(|t| rewrite(t)).collect(),
+                    in_topic: rec.in_topic.as_ref().map(&rewrite),
+                    out_topics: rec.out_topics.iter().map(&rewrite).collect(),
                     is_sync_member: rec.is_sync_subscriber,
                     or_junction: false,
                     stats: rec.stats.clone(),
@@ -209,8 +215,8 @@ impl Dag {
                 .filter(|(_, v)| v.is_sync_member && v.node == node)
                 .map(|(i, _)| VertexId(i))
                 .collect();
-            let outs: Vec<String> = {
-                let mut outs: Vec<String> = member_ids
+            let outs: Vec<Arc<str>> = {
+                let mut outs: Vec<Arc<str>> = member_ids
                     .iter()
                     .flat_map(|&VertexId(i)| dag.vertices[i].out_topics.clone())
                     .collect();
@@ -230,11 +236,12 @@ impl Dag {
                 exec_times: Vec::new(),
                 period: ExecStats::new(),
             });
+            let membership = rtms_util::concat2("&", &node);
             for m in member_ids {
                 dag.edges.push(DagEdge {
                     from: m,
                     to: junction,
-                    topic: format!("&{node}"),
+                    topic: Arc::clone(&membership),
                 });
             }
         }
@@ -248,19 +255,19 @@ impl Dag {
     pub(crate) fn rebuild_topic_edges(&mut self) {
         self.edges.retain(|e| e.topic.starts_with('&'));
         // Publishers per topic: sync members publish via their junction.
-        let mut publishers: HashMap<&str, Vec<VertexId>> = HashMap::new();
+        let mut publishers: FxHashMap<&str, Vec<VertexId>> = FxHashMap::default();
         for (i, v) in self.vertices.iter().enumerate() {
             if v.is_sync_member {
                 continue; // outputs routed through the AND junction
             }
             for t in &v.out_topics {
-                publishers.entry(t.as_str()).or_default().push(VertexId(i));
+                publishers.entry(&**t).or_default().push(VertexId(i));
             }
         }
         let mut new_edges = Vec::new();
         for (i, v) in self.vertices.iter().enumerate() {
             if let Some(in_topic) = &v.in_topic {
-                if let Some(pubs) = publishers.get(in_topic.as_str()) {
+                if let Some(pubs) = publishers.get(&**in_topic) {
                     for &p in pubs {
                         if p != VertexId(i) {
                             new_edges.push(DagEdge {
@@ -409,14 +416,14 @@ impl Dag {
                     membership.push(DagEdge {
                         from: VertexId(i),
                         to: j,
-                        topic: format!("&{}", v.node),
+                        topic: rtms_util::concat2("&", &v.node),
                     });
                 }
             }
         }
         // Junction outputs are the union of member outputs.
         for (node, &j) in &junctions {
-            let mut outs: Vec<String> = self
+            let mut outs: Vec<Arc<str>> = self
                 .vertices
                 .iter()
                 .filter(|v| v.is_sync_member && &v.node == node)
@@ -486,7 +493,7 @@ impl Dag {
             .map(|e| TopologyEdge {
                 from: keys[e.from.0].clone(),
                 to: keys[e.to.0].clone(),
-                topic: e.topic.clone(),
+                topic: e.topic.to_string(),
             })
             .collect();
         edges.sort();
@@ -677,8 +684,8 @@ mod tests {
             pid: Pid::new(pid),
             id: CallbackId::new(id),
             kind,
-            in_topic: in_topic.map(String::from),
-            out_topics: outs.iter().map(|s| s.to_string()).collect(),
+            in_topic: in_topic.map(Arc::from),
+            out_topics: outs.iter().map(|s| Arc::from(*s)).collect(),
             is_sync_subscriber: sync,
             stats: ExecStats::from_samples([Nanos::from_millis(1)]),
             exec_times: vec![Nanos::from_millis(1)],

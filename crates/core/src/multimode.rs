@@ -71,7 +71,7 @@ mod tests {
             id: CallbackId::new(1),
             kind: CallbackKind::Timer,
             in_topic: None,
-            out_topics: vec![out.to_string()],
+            out_topics: vec![out.into()],
             is_sync_subscriber: false,
             stats: ExecStats::from_samples([Nanos::from_millis(et_ms)]),
             exec_times: vec![Nanos::from_millis(et_ms)],
@@ -118,10 +118,10 @@ mod tests {
         mm.merge_into_mode("highway", &dag_with_timer("/hw_only", 1));
         assert!(mm.mode("city").expect("city").vertices()[0]
             .out_topics
-            .contains(&"/city_only".to_string()));
+            .contains(&"/city_only".into()));
         assert!(mm.mode("highway").expect("highway").vertices()[0]
             .out_topics
-            .contains(&"/hw_only".to_string()));
+            .contains(&"/hw_only".into()));
         assert_eq!(mm.collapsed().vertices().len(), 2, "different keys stay distinct");
     }
 }

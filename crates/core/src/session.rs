@@ -22,15 +22,17 @@
 //! segmented at arbitrary points — pinned down to the byte by the
 //! streaming-equivalence suite, including one-event segments.
 
-use crate::alg1::{cat, UNKNOWN};
+use crate::alg1::cat_id;
 use crate::cblist::{CallbackRecord, CbList};
 use crate::dag::Dag;
 use crate::stats::ExecStats;
 use rtms_trace::{
-    CallbackId, CallbackKind, Nanos, Pid, RosEvent, RosPayload, SchedEvent, SchedEventKind,
-    SegmentCursor, SegmentEvent, SourceTimestamp, Topic, Trace, TraceSegment,
+    CallbackId, CallbackKind, MergedEvents, Nanos, OwnedSegmentEvent, Pid, RosEvent, RosPayload,
+    SchedEvent, SchedEventKind, SegmentCursor, SegmentEvent, SourceTimestamp, Topic, Trace,
+    TraceSegment,
 };
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use rtms_util::FxHashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Online Algorithm 2: accumulates the CPU execution time of one open
@@ -103,7 +105,7 @@ impl ExecClock {
 /// client-side dispatch decision of a service response (`FindClient`).
 #[derive(Debug, Clone)]
 enum OutSlot {
-    Ready(String),
+    Ready(Arc<str>),
     AwaitClient { topic: Topic, src_ts: SourceTimestamp },
 }
 
@@ -115,7 +117,7 @@ struct OpenInstance {
     kind: CallbackKind,
     start: Nanos,
     id: Option<CallbackId>,
-    in_topic: Option<String>,
+    in_topic: Option<Arc<str>>,
     outs: Vec<OutSlot>,
     unresolved: usize,
     sync: bool,
@@ -147,7 +149,7 @@ struct PendingInstance {
     seq: u64,
     id: CallbackId,
     kind: CallbackKind,
-    in_topic: Option<String>,
+    in_topic: Option<Arc<str>>,
     outs: Vec<OutSlot>,
     unresolved: usize,
     sync: bool,
@@ -236,9 +238,11 @@ struct RespState {
 #[derive(Debug)]
 pub struct SynthesisSession {
     names: Arc<HashMap<Pid, String>>,
-    nodes: BTreeMap<Pid, PidState>,
-    writes: HashMap<SourceTimestamp, Vec<WriteEntry>>,
-    responses: HashMap<SourceTimestamp, Vec<RespState>>,
+    /// Per-node walker state. FxHash keyed by PID: consulted for every
+    /// event of both streams; read paths that need PID order sort on read.
+    nodes: FxHashMap<Pid, PidState>,
+    writes: FxHashMap<SourceTimestamp, Vec<WriteEntry>>,
+    responses: FxHashMap<SourceTimestamp, Vec<RespState>>,
     /// Events pushed through the `EventSink` interface, pending a
     /// [`SynthesisSession::flush`].
     buffer: TraceSegment,
@@ -270,9 +274,9 @@ impl SynthesisSession {
     pub fn with_names(names: Arc<HashMap<Pid, String>>) -> SynthesisSession {
         SynthesisSession {
             names,
-            nodes: BTreeMap::new(),
-            writes: HashMap::new(),
-            responses: HashMap::new(),
+            nodes: FxHashMap::default(),
+            writes: FxHashMap::default(),
+            responses: FxHashMap::default(),
             buffer: TraceSegment::new(),
             next_seq: 0,
             segments_fed: 0,
@@ -292,7 +296,7 @@ impl SynthesisSession {
             return;
         }
         let segment = std::mem::take(&mut self.buffer);
-        self.feed_segment(&segment);
+        self.feed_segment_owned(segment);
     }
 
     /// The PID → node-name map accumulated so far (seed map plus streamed
@@ -313,18 +317,67 @@ impl SynthesisSession {
         self.feed_cursor(trace.cursor(), trace.len());
     }
 
-    fn feed_cursor(&mut self, cursor: SegmentCursor<'_>, len: usize) {
+    /// Consumes one trace segment *by value*. Equivalent to
+    /// [`SynthesisSession::feed_segment`], but payload allocations (topic
+    /// name `Arc`s, P1 node names) are moved into the session's state
+    /// instead of cloned — the zero-copy half of the sink → session →
+    /// model pipeline. [`SynthesisSession::flush`] ingests this way.
+    pub fn feed_segment_owned(&mut self, segment: TraceSegment) {
+        let len = segment.len();
+        self.feed_merged(segment.into_merged(), len);
+    }
+
+    /// Consumes a whole trace by value as one segment, like
+    /// [`SynthesisSession::feed_segment_owned`].
+    pub fn feed_trace_owned(&mut self, trace: Trace) {
+        let len = trace.len();
+        self.feed_merged(trace.into_merged(), len);
+    }
+
+    fn begin_feed(&mut self, len: usize) {
         self.segments_fed += 1;
         self.events_fed += len as u64;
         self.peak_segment_events = self.peak_segment_events.max(len);
+    }
+
+    fn end_feed(&mut self, len: usize) {
+        let watermark = len + self.retained_entries();
+        self.peak_watermark = self.peak_watermark.max(watermark);
+    }
+
+    fn feed_cursor(&mut self, cursor: SegmentCursor<'_>, len: usize) {
+        self.begin_feed(len);
         for event in cursor {
             match event {
                 SegmentEvent::Ros(e) => self.on_ros(e),
                 SegmentEvent::Sched(e) => self.on_sched(e),
             }
         }
-        let watermark = len + self.retained_entries();
-        self.peak_watermark = self.peak_watermark.max(watermark);
+        self.end_feed(len);
+    }
+
+    fn feed_merged(&mut self, events: MergedEvents, len: usize) {
+        self.begin_feed(len);
+        for event in events {
+            match event {
+                OwnedSegmentEvent::Ros(e) => self.on_ros_owned(e),
+                OwnedSegmentEvent::Sched(e) => self.on_sched(&e),
+            }
+        }
+        self.end_feed(len);
+    }
+
+    /// By-value twin of [`SynthesisSession::on_ros`]: the only payload the
+    /// by-ref walker has to copy is the P1 node name, so take ownership of
+    /// that one here and borrow for everything else.
+    fn on_ros_owned(&mut self, e: RosEvent) {
+        if let RosPayload::NodeInit { node_name } = e.payload {
+            if self.names.get(&e.pid) != Some(&node_name) {
+                Arc::make_mut(&mut self.names).insert(e.pid, node_name);
+            }
+            return;
+        }
+        self.on_ros(&e);
     }
 
     fn on_ros(&mut self, e: &RosEvent) {
@@ -354,7 +407,9 @@ impl SynthesisSession {
                 st.last_identity = Some(*callback);
                 if let Some(w) = st.wip.as_mut() {
                     w.id = Some(*callback);
-                    w.in_topic = Some(topic.name().to_string());
+                    // Shared, not copied: the name allocation travels from
+                    // the tracer event into the record unchanged.
+                    w.in_topic = Some(topic.name_arc().clone());
                 }
             }
             RosPayload::TakeRequest { callback, topic, src_ts } => {
@@ -368,8 +423,7 @@ impl SynthesisSession {
                 st.last_identity = Some(*callback);
                 if let Some(w) = st.wip.as_mut() {
                     w.id = Some(*callback);
-                    let dec = caller.map_or_else(|| UNKNOWN.to_string(), |c| c.to_string());
-                    w.in_topic = Some(cat(topic, &dec));
+                    w.in_topic = Some(cat_id(topic, caller));
                 }
             }
             RosPayload::TakeResponse { callback, topic, src_ts } => {
@@ -390,7 +444,7 @@ impl SynthesisSession {
                 }
                 if let Some(w) = st.wip.as_mut() {
                     w.id = Some(*callback);
-                    w.in_topic = Some(cat(topic, &callback.to_string()));
+                    w.in_topic = Some(cat_id(topic, Some(*callback)));
                 }
             }
             RosPayload::DdsWrite { topic, src_ts } => self.on_write(pid, topic, *src_ts),
@@ -453,12 +507,11 @@ impl SynthesisSession {
             return;
         };
         let slot = if topic.is_service_request() {
-            let own = own.map_or_else(|| UNKNOWN.to_string(), |c| c.to_string());
-            OutSlot::Ready(cat(topic, &own))
+            OutSlot::Ready(cat_id(topic, own))
         } else if topic.is_service_response() {
             OutSlot::AwaitClient { topic: topic.clone(), src_ts }
         } else {
-            OutSlot::Ready(topic.name().to_string())
+            OutSlot::Ready(topic.name_arc().clone())
         };
         let awaits_client = matches!(slot, OutSlot::AwaitClient { .. });
         let st = self.nodes.get_mut(&pid).expect("wip implies state");
@@ -523,7 +576,7 @@ impl SynthesisSession {
     /// Fills a waiting output slot with the resolved client decoration.
     fn deliver(&mut self, waiter: Waiter, topic: &Topic, client: CallbackId) {
         let Some(st) = self.nodes.get_mut(&waiter.pid) else { return };
-        let resolved = OutSlot::Ready(cat(topic, &client.to_string()));
+        let resolved = OutSlot::Ready(cat_id(topic, Some(client)));
         if let Some(w) = st.wip.as_mut().filter(|w| w.seq == waiter.seq) {
             w.outs[waiter.slot] = resolved;
             w.unresolved -= 1;
@@ -539,23 +592,25 @@ impl SynthesisSession {
     }
 
     /// Folds fully resolved pending instances into the node's callback
-    /// list, strictly in completion order.
+    /// list, strictly in completion order. Everything is moved, not
+    /// cloned, and folding a repeat instance of a known callback touches
+    /// no allocator at all ([`CbList::fold_instance`]).
     fn fold_ready(pid: Pid, st: &mut PidState) {
         while st.pending.front().is_some_and(|p| p.unresolved == 0) {
             let p = st.pending.pop_front().expect("checked front");
-            let outs = p
+            let outs: Vec<Arc<str>> = p
                 .outs
-                .iter()
+                .into_iter()
                 .map(|slot| match slot {
-                    OutSlot::Ready(s) => s.clone(),
+                    OutSlot::Ready(s) => s,
                     OutSlot::AwaitClient { .. } => unreachable!("unresolved == 0"),
                 })
                 .collect();
-            st.list.add_instance(Self::finished_record(pid, &p, outs));
+            st.list.fold_instance(pid, p.id, p.kind, p.in_topic, outs, p.sync, p.exec, p.start);
         }
     }
 
-    fn finished_record(pid: Pid, p: &PendingInstance, outs: Vec<String>) -> CallbackRecord {
+    fn finished_record(pid: Pid, p: &PendingInstance, outs: Vec<Arc<str>>) -> CallbackRecord {
         CallbackRecord {
             pid,
             id: p.id,
@@ -592,7 +647,10 @@ impl SynthesisSession {
     /// trace cut at this point); feeding may continue afterwards.
     pub fn callback_lists(&self) -> Vec<(Pid, CbList)> {
         let mut lists = Vec::new();
-        for (&pid, st) in &self.nodes {
+        let mut pids: Vec<Pid> = self.nodes.keys().copied().collect();
+        pids.sort_unstable();
+        for pid in pids {
+            let st = &self.nodes[&pid];
             let mut list = st.list.clone();
             for p in &st.pending {
                 let outs = p
@@ -601,10 +659,7 @@ impl SynthesisSession {
                     .map(|slot| match slot {
                         OutSlot::Ready(s) => s.clone(),
                         OutSlot::AwaitClient { topic, src_ts } => {
-                            let client = self.peek_client(*src_ts, topic);
-                            let dec =
-                                client.map_or_else(|| UNKNOWN.to_string(), |c| c.to_string());
-                            cat(topic, &dec)
+                            cat_id(topic, self.peek_client(*src_ts, topic))
                         }
                     })
                     .collect();
@@ -816,7 +871,7 @@ mod tests {
             .expect("timer entry");
         // Window [1,5] ms minus preemption [2,4) = 2 ms.
         assert_eq!(timer.stats.mwcet(), Some(Nanos::from_millis(2)));
-        assert_eq!(timer.out_topics, vec!["/svRequest#cb:0x11".to_string()]);
+        assert_eq!(timer.out_topics, [Arc::from("/svRequest#cb:0x11")]);
     }
 
     #[test]
@@ -830,7 +885,7 @@ mod tests {
         let (_, server) = lists.iter().find(|(p, _)| *p == Pid::new(3)).expect("pid 3");
         let sv = &server.entries()[0];
         assert_eq!(sv.in_topic.as_deref(), Some("/svRequest#cb:0x11"));
-        assert_eq!(sv.out_topics, vec!["/svReply#cb:0x21".to_string()]);
+        assert_eq!(sv.out_topics, [Arc::from("/svReply#cb:0x21")]);
     }
 
     #[test]
@@ -845,6 +900,25 @@ mod tests {
         assert_eq!(session.events_fed(), trace.len() as u64);
         assert!(session.peak_watermark() >= 1);
         assert_eq!(session.segments_fed(), trace.len());
+    }
+
+    #[test]
+    fn owned_feed_equals_by_ref_feed() {
+        let trace = service_trace();
+        let mut by_ref = SynthesisSession::new();
+        by_ref.feed_trace(&trace);
+        for per_segment in [1usize, 4, 1000] {
+            let mut owned = SynthesisSession::new();
+            for seg in split_by_events(&trace, per_segment) {
+                owned.feed_segment_owned(seg);
+            }
+            assert_eq!(owned.model(), by_ref.model(), "segment size {per_segment}");
+            assert_eq!(owned.events_fed(), by_ref.events_fed());
+        }
+        let mut owned = SynthesisSession::new();
+        owned.feed_trace_owned(trace);
+        assert_eq!(owned.model(), by_ref.model());
+        assert_eq!(owned.peak_watermark(), by_ref.peak_watermark());
     }
 
     #[test]

@@ -114,8 +114,8 @@ proptest! {
                 pid: Pid::new(1),
                 id: CallbackId::new(i as u64 + 1),
                 kind: CallbackKind::Subscriber,
-                in_topic: Some(format!("/in{i}")),
-                out_topics: vec![format!("/out{i}")],
+                in_topic: Some(format!("/in{i}").into()),
+                out_topics: vec![format!("/out{i}").into()],
                 is_sync_subscriber: false,
                 stats: ExecStats::from_samples([Nanos::from_millis(i as u64 + 1)]),
                 exec_times: vec![Nanos::from_millis(i as u64 + 1)],

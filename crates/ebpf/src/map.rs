@@ -3,7 +3,7 @@
 
 use parking_lot::RwLock;
 use rtms_trace::Pid;
-use std::collections::HashMap;
+use rtms_util::FxHashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::Arc;
@@ -48,7 +48,9 @@ impl std::error::Error for MapError {}
 pub struct BpfMap<K, V> {
     name: &'static str,
     max_entries: usize,
-    inner: Arc<RwLock<HashMap<K, V>>>,
+    // FxHash: map keys are PIDs and addresses, and the kernel tracer
+    // consults the PID filter for every scheduler event.
+    inner: Arc<RwLock<FxHashMap<K, V>>>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> BpfMap<K, V> {
@@ -59,7 +61,7 @@ impl<K: Eq + Hash + Clone, V: Clone> BpfMap<K, V> {
     /// Panics if `max_entries` is zero.
     pub fn new(name: &'static str, max_entries: usize) -> Self {
         assert!(max_entries > 0, "max_entries must be positive");
-        BpfMap { name, max_entries, inner: Arc::new(RwLock::new(HashMap::new())) }
+        BpfMap { name, max_entries, inner: Arc::new(RwLock::new(FxHashMap::default())) }
     }
 
     /// The map name (as it would appear in `bpftool map list`).

@@ -11,13 +11,18 @@ use rtms_trace::{Nanos, Probe};
 use std::collections::BTreeMap;
 
 /// Per-firing cost model and accumulated accounting.
+///
+/// [`OverheadModel::charge`] runs once per probe firing — for the kernel
+/// tracer, once per scheduler event the machine produces — so the
+/// accounting is a flat array indexed by probe discriminant, not a map.
 #[derive(Debug, Clone)]
 pub struct OverheadModel {
     /// Fixed cost of a probe dispatch (trap + program setup).
     base_cost: Nanos,
     /// Cost charged per helper call the program performs.
     helper_cost: Nanos,
-    totals: BTreeMap<Probe, (u64, Nanos)>,
+    counts: [u64; Probe::ALL.len()],
+    times: [Nanos; Probe::ALL.len()],
 }
 
 impl OverheadModel {
@@ -28,7 +33,8 @@ impl OverheadModel {
         OverheadModel {
             base_cost: Nanos::from_nanos(800),
             helper_cost: Nanos::from_nanos(60),
-            totals: BTreeMap::new(),
+            counts: [0; Probe::ALL.len()],
+            times: [Nanos::ZERO; Probe::ALL.len()],
         }
     }
 
@@ -41,33 +47,33 @@ impl OverheadModel {
 
     /// Charges one firing of `probe` that performed `helper_calls` helper
     /// invocations; returns the charged cost.
+    #[inline]
     pub fn charge(&mut self, probe: Probe, helper_calls: u32) -> Nanos {
         let cost = self.base_cost
             + Nanos::from_nanos(self.helper_cost.as_nanos() * u64::from(helper_calls));
-        let entry = self.totals.entry(probe).or_insert((0, Nanos::ZERO));
-        entry.0 += 1;
-        entry.1 += cost;
+        let slot = probe as usize;
+        self.counts[slot] += 1;
+        self.times[slot] += cost;
         cost
     }
 
     /// Folds another model's accounting into this one (used to aggregate
     /// the three tracers' costs into one report).
     pub fn absorb(&mut self, other: &OverheadModel) {
-        for (probe, (n, t)) in &other.totals {
-            let entry = self.totals.entry(*probe).or_insert((0, Nanos::ZERO));
-            entry.0 += n;
-            entry.1 += *t;
+        for i in 0..Probe::ALL.len() {
+            self.counts[i] += other.counts[i];
+            self.times[i] += other.times[i];
         }
     }
 
     /// Total accumulated probe runtime.
     pub fn total_time(&self) -> Nanos {
-        self.totals.values().fold(Nanos::ZERO, |acc, (_, t)| acc + *t)
+        self.times.iter().fold(Nanos::ZERO, |acc, t| acc + *t)
     }
 
     /// Total probe firings.
     pub fn total_firings(&self) -> u64 {
-        self.totals.values().map(|(n, _)| n).sum()
+        self.counts.iter().sum()
     }
 
     /// Produces the summary report for a run of `wall_time` against an
@@ -84,8 +90,14 @@ impl OverheadModel {
         } else {
             0.0
         };
+        let per_probe: BTreeMap<Probe, (u64, Nanos)> = Probe::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.counts[i] > 0)
+            .map(|(i, &p)| (p, (self.counts[i], self.times[i])))
+            .collect();
         OverheadReport {
-            per_probe: self.totals.clone(),
+            per_probe,
             total_time: total,
             total_firings: self.total_firings(),
             avg_cores,
@@ -142,6 +154,18 @@ mod tests {
         assert!((r.avg_cores - 0.001).abs() < 1e-9);
         // ... and 0.2% of a 500 ms application load.
         assert!((r.frac_of_app_load - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probe_slots_match_discriminants() {
+        // The flat accounting arrays index by `probe as usize`; this pins
+        // the slot table to the enum's declaration order.
+        for (i, &p) in Probe::ALL.iter().enumerate() {
+            assert_eq!(p as usize, i, "slot of {p:?}");
+        }
+        for spec in rtms_trace::PROBE_CATALOG {
+            assert_eq!(Probe::ALL[spec.probe as usize], spec.probe);
+        }
     }
 
     #[test]

@@ -10,8 +10,10 @@ pub trait PerfRecord {
     fn record_size(&self) -> usize;
 
     /// Routes this record into the matching stream of an [`EventSink`]
-    /// (user space demultiplexing the perf ring by record type).
-    fn sink_into(self, sink: &mut dyn EventSink);
+    /// (user space demultiplexing the perf ring by record type). Generic
+    /// over the sink so a drain into a concrete sink monomorphizes to a
+    /// direct call; `S = dyn EventSink` still works.
+    fn sink_into<S: EventSink + ?Sized>(self, sink: &mut S);
 }
 
 impl PerfRecord for RosEvent {
@@ -19,7 +21,7 @@ impl PerfRecord for RosEvent {
         self.encoded_size()
     }
 
-    fn sink_into(self, sink: &mut dyn EventSink) {
+    fn sink_into<S: EventSink + ?Sized>(self, sink: &mut S) {
         sink.push_ros(self);
     }
 }
@@ -29,7 +31,7 @@ impl PerfRecord for SchedEvent {
         self.encoded_size()
     }
 
-    fn sink_into(self, sink: &mut dyn EventSink) {
+    fn sink_into<S: EventSink + ?Sized>(self, sink: &mut S) {
         sink.push_sched(self);
     }
 }
@@ -113,8 +115,9 @@ impl<T: PerfRecord> PerfBuffer<T> {
 
     /// Drains all buffered records in FIFO order directly into an
     /// [`EventSink`] — the streaming counterpart of [`PerfBuffer::drain`],
-    /// with no intermediate vector.
-    pub fn drain_into(&mut self, sink: &mut dyn EventSink) {
+    /// with no intermediate vector and no per-record virtual dispatch for
+    /// concrete sink types.
+    pub fn drain_into<S: EventSink + ?Sized>(&mut self, sink: &mut S) {
         self.used_bytes = 0;
         for record in self.records.drain(..) {
             record.sink_into(sink);

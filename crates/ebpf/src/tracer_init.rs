@@ -101,8 +101,9 @@ impl Ros2InitTracer {
         self.perf.drain()
     }
 
-    /// Drains the buffered events directly into an event sink.
-    pub fn drain_segment_into(&mut self, sink: &mut dyn rtms_trace::EventSink) {
+    /// Drains the buffered events directly into an event sink (generic:
+    /// a concrete sink type gets a monomorphized, dispatch-free drain).
+    pub fn drain_segment_into<S: rtms_trace::EventSink + ?Sized>(&mut self, sink: &mut S) {
         self.perf.drain_into(sink);
     }
 

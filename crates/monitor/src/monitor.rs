@@ -202,9 +202,9 @@ impl Monitor {
             let Some(env) = self.baseline.envelope(&key) else { continue };
 
             if env.samples >= c.min_baseline_samples && v.stats.count() >= c.min_window_samples {
-                let spread = scaled(env.mwcet - env.mbcet, c.exec_range_mult);
+                let spread = (env.mwcet - env.mbcet).scaled(c.exec_range_mult);
                 let bound =
-                    scaled(env.macet, 1.0 + c.exec_tolerance) + spread + c.exec_slack;
+                    env.macet.scaled(1.0 + c.exec_tolerance) + spread + c.exec_slack;
                 if let Some(observed) = v.stats.macet() {
                     if observed > bound {
                         // The whole window above the healthy worst case is
@@ -242,10 +242,10 @@ impl Monitor {
                     continue;
                 };
                 let bound =
-                    scaled(pm, 1.0 + c.period_tolerance) + (pmax - pmin) + c.period_slack;
+                    pm.scaled(1.0 + c.period_tolerance) + (pmax - pmin) + c.period_slack;
                 if let Some(observed) = v.period.macet() {
                     if observed > bound {
-                        let severity = if observed > scaled(bound, 2.0) {
+                        let severity = if observed > bound.scaled(2.0) {
                             Severity::Critical
                         } else {
                             Severity::Warning
@@ -323,11 +323,6 @@ fn episode_step<T: Ord + Clone>(
     fresh
 }
 
-/// Scales a duration by a non-negative factor, rounding to the nanosecond.
-fn scaled(d: Nanos, factor: f64) -> Nanos {
-    Nanos::from_nanos((d.as_nanos() as f64 * factor).round().max(0.0) as u64)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,8 +348,8 @@ mod tests {
             pid: Pid::new(pid),
             id: CallbackId::new(id),
             kind,
-            in_topic: in_topic.map(String::from),
-            out_topics: outs.iter().map(|s| s.to_string()).collect(),
+            in_topic: in_topic.map(std::sync::Arc::from),
+            out_topics: outs.iter().map(|s| std::sync::Arc::from(*s)).collect(),
             is_sync_subscriber: false,
             stats: ExecStats::from_samples(times.iter().copied()),
             exec_times: times,

@@ -331,19 +331,19 @@ impl WorldBuilder {
                             }
                             CallbackSpec::Service { service, work, .. } => {
                                 let reader =
-                                    w.dds.create_reader(pid, Topic::service_request(service));
+                                    w.dds.create_reader(pid, Topic::service_request(service.as_str()));
                                 (
                                     CallbackKind::Service,
                                     CbDetail::Service {
                                         reader,
-                                        response_topic: Topic::service_response(service),
+                                        response_topic: Topic::service_response(service.as_str()),
                                     },
                                     *work,
                                 )
                             }
                             CallbackSpec::Client { service, work, .. } => {
                                 let reader =
-                                    w.dds.create_reader(pid, Topic::service_response(service));
+                                    w.dds.create_reader(pid, Topic::service_response(service.as_str()));
                                 (CallbackKind::Client, CbDetail::Client { reader }, *work)
                             }
                         }
@@ -379,7 +379,7 @@ impl WorldBuilder {
                                 };
                                 outputs.push(ResolvedOutput::CallService {
                                     client_cb: cbs[ci].id,
-                                    request_topic: Topic::service_request(&service),
+                                    request_topic: Topic::service_request(service.as_str()),
                                 });
                             }
                         }
@@ -499,7 +499,9 @@ impl Ros2World {
     /// first, then runtime, then scheduler events — each stream in FIFO
     /// order). The sink decides what to do with them: accumulate a
     /// [`Trace`], fill a bounded [`TraceSegment`], or consume them online.
-    pub fn collect_segment_into(&mut self, sink: &mut dyn EventSink) {
+    /// Generic over the sink, so draining into a concrete type compiles to
+    /// direct pushes with no per-event virtual dispatch.
+    pub fn collect_segment_into<S: EventSink + ?Sized>(&mut self, sink: &mut S) {
         let mut w = self.world.borrow_mut();
         w.tracers.init.drain_segment_into(sink);
         w.tracers.rt.drain_segment_into(sink);
@@ -519,7 +521,7 @@ impl Ros2World {
     /// start the runtime tracers, simulate, stop, and drain every tracer
     /// buffer into the sink. Events arrive in drain order; sort afterwards
     /// if the sink accumulates and chronological order is required.
-    pub fn trace_into(&mut self, sink: &mut dyn EventSink, duration: Nanos) {
+    pub fn trace_into<S: EventSink + ?Sized>(&mut self, sink: &mut S, duration: Nanos) {
         self.announce_nodes();
         self.start_runtime_tracers();
         self.run_for(duration);
@@ -545,11 +547,121 @@ impl Ros2World {
     /// and then dropped, so a run of any length needs memory proportional
     /// to one segment, not to the whole run.
     ///
+    /// On a machine with at least two cores the two halves of the pipeline
+    /// are overlapped (see [`Ros2World::trace_segments_pipelined`]):
+    /// consuming segment *k* — sorting it, synthesizing from it — proceeds
+    /// while segment *k + 1* is still being collected. On a single-core
+    /// machine the pipeline would only add context switches, so collection
+    /// and consumption alternate on the calling thread instead. Both paths
+    /// hand over identical segments in identical order, so any output is
+    /// byte-identical — pinned by the streaming-equivalence suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len` is zero, or propagates `on_segment`'s
+    /// panic.
+    pub fn trace_segments<F>(&mut self, total: Nanos, segment_len: Nanos, on_segment: F)
+    where
+        F: FnMut(TraceSegment) + Send,
+    {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if cores >= 2 {
+            self.trace_segments_pipelined(total, segment_len, on_segment);
+        } else {
+            self.trace_segments_sequential(total, segment_len, on_segment);
+        }
+    }
+
+    /// The pipelined implementation behind [`Ros2World::trace_segments`]:
+    /// `on_segment` runs on a dedicated consumer thread fed through a
+    /// bounded two-slot channel, so synthesis of segment *k* overlaps
+    /// collection of segment *k + 1*. Segments arrive at the consumer
+    /// strictly in run order on one thread, byte-identical to the
+    /// sequential path. A panic in `on_segment` propagates to the caller
+    /// after the collection loop stops.
+    ///
+    /// Exposed separately so the equivalence suite (and curious callers)
+    /// can force the pipelined path regardless of the machine's core
+    /// count; prefer [`Ros2World::trace_segments`], which picks the faster
+    /// path for the hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len` is zero, or propagates `on_segment`'s
+    /// panic.
+    pub fn trace_segments_pipelined<F>(&mut self, total: Nanos, segment_len: Nanos, on_segment: F)
+    where
+        F: FnMut(TraceSegment) + Send,
+    {
+        assert!(segment_len > Nanos::ZERO, "segment length must be positive");
+        self.announce_nodes();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TraceSegment>(2);
+        std::thread::scope(|scope| {
+            let mut on_segment = on_segment;
+            let consumer = scope.spawn(move || {
+                use std::sync::mpsc::TryRecvError;
+                loop {
+                    // Spin briefly before parking: segments can arrive
+                    // every few tens of microseconds, and paying a full
+                    // scheduler wakeup per segment costs more than the
+                    // synthesis work being hidden.
+                    let mut next = None;
+                    for _ in 0..2000 {
+                        match rx.try_recv() {
+                            Ok(segment) => {
+                                next = Some(segment);
+                                break;
+                            }
+                            Err(TryRecvError::Empty) => std::hint::spin_loop(),
+                            Err(TryRecvError::Disconnected) => return,
+                        }
+                    }
+                    let Some(mut segment) = next.or_else(|| rx.recv().ok()) else {
+                        return;
+                    };
+                    // Sorting belongs to the segment contract but not to
+                    // the collection critical path — it overlaps the next
+                    // segment's collection here.
+                    segment.sort_by_time();
+                    on_segment(segment);
+                }
+            });
+            let end = self.now() + total;
+            let mut index = 0;
+            while self.now() < end {
+                let step = segment_len.min(end - self.now());
+                self.start_runtime_tracers();
+                self.run_for(step);
+                self.stop_runtime_tracers();
+                let mut segment = TraceSegment::with_index(index);
+                self.collect_segment_into(&mut segment);
+                if tx.send(segment).is_err() {
+                    break; // consumer died; its panic surfaces below
+                }
+                index += 1;
+            }
+            drop(tx);
+            if let Err(panic) = consumer.join() {
+                std::panic::resume_unwind(panic);
+            }
+        });
+    }
+
+    /// The sequential reference for [`Ros2World::trace_segments`]:
+    /// collection and consumption strictly alternate on the calling
+    /// thread. Same segment contract, no `Send` requirement on
+    /// `on_segment`; the equivalence suite pins the pipelined path
+    /// byte-identical to this one.
+    ///
     /// # Panics
     ///
     /// Panics if `segment_len` is zero.
-    pub fn trace_segments<F>(&mut self, total: Nanos, segment_len: Nanos, mut on_segment: F)
-    where
+    pub fn trace_segments_sequential<F>(
+        &mut self,
+        total: Nanos,
+        segment_len: Nanos,
+        mut on_segment: F,
+    ) where
         F: FnMut(TraceSegment),
     {
         assert!(segment_len > Nanos::ZERO, "segment length must be positive");

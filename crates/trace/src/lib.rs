@@ -43,7 +43,10 @@ pub use ids::{CallbackId, Cpu, Pid, Priority};
 pub use probe::{Probe, ProbeAttachment, ProbeSpec, PROBE_CATALOG};
 pub use sched_event::{SchedEvent, SchedEventKind, ThreadState};
 pub use session::{TraceDatabase, TraceSession};
-pub use sink::{split_by_events, EventSink, SegmentCursor, SegmentEvent, TraceSegment};
+pub use sink::{
+    split_by_events, EventSink, MergedEvents, OwnedSegmentEvent, SegmentCursor, SegmentEvent,
+    TraceSegment,
+};
 pub use store::TraceStore;
 pub use time::Nanos;
 pub use topic::{SourceTimestamp, Topic, TopicKind};

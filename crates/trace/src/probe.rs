@@ -45,6 +45,34 @@ pub enum Probe {
     /// The `sched_wakeup` kernel tracepoint (future-work extension of
     /// Sec. VII, used to measure callback waiting times).
     SchedWakeup,
+    // When adding a variant, extend `Probe::ALL` below in the same order —
+    // flat per-probe accounting arrays index by discriminant.
+}
+
+impl Probe {
+    /// Every probe, in declaration order: `Probe::ALL[p as usize] == p`
+    /// (pinned by a test). Lets per-probe accounting use flat arrays of
+    /// `Probe::ALL.len()` slots indexed by discriminant instead of maps.
+    pub const ALL: [Probe; 18] = [
+        Probe::P1,
+        Probe::P2,
+        Probe::P3,
+        Probe::P4,
+        Probe::P5,
+        Probe::P6,
+        Probe::P7,
+        Probe::P8,
+        Probe::P9,
+        Probe::P10,
+        Probe::P11,
+        Probe::P12,
+        Probe::P13,
+        Probe::P14,
+        Probe::P15,
+        Probe::P16,
+        Probe::SchedSwitch,
+        Probe::SchedWakeup,
+    ];
 }
 
 /// How a probe is attached to its target function.

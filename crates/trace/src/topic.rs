@@ -63,24 +63,41 @@ impl Topic {
 
     /// Creates the request topic of the service `service_name`, following
     /// the `<service>Request` naming the paper's figures use.
-    pub fn service_request(service_name: &str) -> Self {
+    ///
+    /// Accepts anything [`Topic::plain`] accepts, for API symmetry. The
+    /// suffix concat goes through [`rtms_util::concat2`], which builds
+    /// the final name in a reused scratch buffer instead of a throwaway
+    /// `format!` `String`; the name is a fresh allocation either way
+    /// (the suffix makes sharing the input impossible).
+    pub fn service_request(service_name: impl Into<Arc<str>>) -> Self {
         Topic {
-            name: format!("{service_name}Request").into(),
+            name: rtms_util::concat2(&service_name.into(), "Request"),
             kind: TopicKind::ServiceRequest,
         }
     }
 
     /// Creates the response topic of the service `service_name`, following
-    /// the `<service>Reply` naming the paper's figures use.
-    pub fn service_response(service_name: &str) -> Self {
+    /// the `<service>Reply` naming the paper's figures use. Accepts
+    /// anything [`Topic::plain`] accepts, like
+    /// [`Topic::service_request`].
+    pub fn service_response(service_name: impl Into<Arc<str>>) -> Self {
         Topic {
-            name: format!("{service_name}Reply").into(),
+            name: rtms_util::concat2(&service_name.into(), "Reply"),
             kind: TopicKind::ServiceResponse,
         }
     }
 
     /// The topic name, e.g. `/lidars/points_fused`.
     pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared name allocation. Cloning the returned `Arc` is a
+    /// reference-count bump: the synthesis pipeline uses this to carry
+    /// topic names from the tracer events all the way into the model
+    /// without copying the string (pinned by the no-clone assertions of
+    /// the streaming-equivalence suite).
+    pub fn name_arc(&self) -> &Arc<str> {
         &self.name
     }
 
@@ -106,7 +123,7 @@ impl Topic {
     /// `/sv3Request#cb:0x2a` for the caller with that callback ID.
     pub fn with_suffix(&self, suffix: &str) -> Topic {
         Topic {
-            name: format!("{}#{}", self.name, suffix).into(),
+            name: rtms_util::concat3(&self.name, "#", suffix),
             kind: self.kind,
         }
     }
@@ -170,6 +187,18 @@ mod tests {
         assert_eq!(rs.name(), "/sv1Reply");
         assert!(rq.is_service_request());
         assert!(rs.is_service_response());
+    }
+
+    #[test]
+    fn service_ctors_accept_shared_names_like_plain() {
+        // API symmetry with `Topic::plain`: &str, String, and Arc<str> all
+        // work, and all spellings name the same topic.
+        let shared: Arc<str> = Arc::from("/sv1");
+        assert_eq!(Topic::service_request(shared.clone()), Topic::service_request("/sv1"));
+        assert_eq!(
+            Topic::service_response(String::from("/sv1")),
+            Topic::service_response(shared)
+        );
     }
 
     #[test]

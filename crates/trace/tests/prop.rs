@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rtms_trace::{
-    CallbackId, CallbackKind, Cpu, Nanos, Pid, Priority, RosEvent, RosPayload, SchedEvent,
-    SourceTimestamp, ThreadState, Topic, Trace,
+    split_by_events, CallbackId, CallbackKind, Cpu, Nanos, OwnedSegmentEvent, Pid, Priority,
+    RosEvent, RosPayload, SchedEvent, SegmentEvent, SourceTimestamp, ThreadState, Topic, Trace,
 };
 
 fn arb_nanos() -> impl Strategy<Value = Nanos> {
@@ -22,8 +22,8 @@ fn arb_kind() -> impl Strategy<Value = CallbackKind> {
 fn arb_topic() -> impl Strategy<Value = Topic> {
     prop_oneof![
         "[a-z/]{1,12}".prop_map(Topic::plain),
-        "[a-z]{1,8}".prop_map(|s| Topic::service_request(&format!("/{s}"))),
-        "[a-z]{1,8}".prop_map(|s| Topic::service_response(&format!("/{s}"))),
+        "[a-z]{1,8}".prop_map(|s| Topic::service_request(format!("/{s}"))),
+        "[a-z]{1,8}".prop_map(|s| Topic::service_response(format!("/{s}"))),
     ]
 }
 
@@ -68,6 +68,16 @@ fn arb_sched_event() -> impl Strategy<Value = SchedEvent> {
             )
         },
     )
+}
+
+/// Clones a by-ref cursor event into the owned representation, so walks
+/// over different segmentations (and over by-ref vs owned cursors)
+/// compare exactly.
+fn to_owned_event(e: SegmentEvent<'_>) -> OwnedSegmentEvent {
+    match e {
+        SegmentEvent::Ros(r) => OwnedSegmentEvent::Ros(r.clone()),
+        SegmentEvent::Sched(s) => OwnedSegmentEvent::Sched(s.clone()),
+    }
 }
 
 proptest! {
@@ -157,6 +167,61 @@ proptest! {
         let size = ev.encoded_size();
         prop_assert!(size >= 16, "at least the header");
         prop_assert!(size <= 16 + 8 + 8 + 64, "at most the take record");
+    }
+
+    /// The merged walk's tie order is pinned: each stream stable in
+    /// emission order, ROS2 before scheduler on cross-stream timestamp
+    /// ties — and that order survives any re-segmentation, which is what
+    /// lets an online consumer observe the same sequence however the run
+    /// was cut into segments.
+    #[test]
+    fn cursor_tie_order_stable_across_resegmentation(
+        evs in proptest::collection::vec(arb_ros_event(), 0..40),
+        sched in proptest::collection::vec(arb_sched_event(), 0..40),
+        // Few distinct timestamps => many equal-timestamp collisions.
+        squash in 1u64..5,
+        per_segment in 1usize..12,
+    ) {
+        let mut t = Trace::new();
+        for mut e in evs {
+            e.time = Nanos::from_nanos(e.time.as_nanos() % squash);
+            t.push_ros(e);
+        }
+        for mut s in sched {
+            s.time = Nanos::from_nanos(s.time.as_nanos() % squash);
+            t.push_sched(s);
+        }
+
+        // Reference walk over the unsegmented trace.
+        let reference: Vec<OwnedSegmentEvent> = t.cursor().map(to_owned_event).collect();
+
+        // The walk is chronological; at a shared timestamp every ROS2
+        // event precedes every scheduler event.
+        for w in reference.windows(2) {
+            prop_assert!(w[0].time() <= w[1].time());
+            if w[0].time() == w[1].time() {
+                prop_assert!(
+                    matches!(w[0], OwnedSegmentEvent::Ros(_))
+                        || !matches!(w[1], OwnedSegmentEvent::Ros(_)),
+                    "a scheduler event must never precede a ROS2 event at the same timestamp"
+                );
+            }
+        }
+
+        // Re-segmentation at any granularity reproduces the identical
+        // sequence, both via per-segment cursors and via the owned walk.
+        let segments = split_by_events(&t, per_segment);
+        let walked: Vec<OwnedSegmentEvent> = segments
+            .iter()
+            .flat_map(|s| s.cursor().map(to_owned_event).collect::<Vec<_>>())
+            .collect();
+        prop_assert_eq!(&walked, &reference);
+
+        let owned: Vec<OwnedSegmentEvent> = segments
+            .into_iter()
+            .flat_map(|s| s.into_merged().collect::<Vec<_>>())
+            .collect();
+        prop_assert_eq!(&owned, &reference);
     }
 
     #[test]

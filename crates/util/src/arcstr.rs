@@ -1,0 +1,117 @@
+//! Allocation-lean construction of `Arc<str>` by concatenation.
+//!
+//! The topic decorations of Algorithm 1 (`/sv3Request` + `#cb:0x2a`) and
+//! the service topic names (`/sv3` + `Request`) are string concatenations
+//! on per-event paths. `format!` materializes a `String` (one heap
+//! allocation, plus formatter machinery) that is immediately copied into
+//! the final `Arc<str>` (a second allocation). The helpers here assemble
+//! the bytes in a reused thread-local scratch buffer instead, so each call
+//! performs exactly the one allocation the `Arc` itself needs.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+fn with_scratch(parts: &[&str]) -> Arc<str> {
+    SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.clear();
+        buf.reserve(parts.iter().map(|p| p.len()).sum());
+        for part in parts {
+            buf.push_str(part);
+        }
+        Arc::from(buf.as_str())
+    })
+}
+
+/// Concatenates two string slices into a freshly allocated `Arc<str>`.
+///
+/// # Example
+///
+/// ```
+/// let name = rtms_util::concat2("/sv3", "Request");
+/// assert_eq!(&*name, "/sv3Request");
+/// ```
+pub fn concat2(a: &str, b: &str) -> Arc<str> {
+    with_scratch(&[a, b])
+}
+
+/// Concatenates three string slices into a freshly allocated `Arc<str>`.
+///
+/// # Example
+///
+/// ```
+/// let decorated = rtms_util::concat3("/sv3Request", "#", "cb:0x2a");
+/// assert_eq!(&*decorated, "/sv3Request#cb:0x2a");
+/// ```
+pub fn concat3(a: &str, b: &str, c: &str) -> Arc<str> {
+    with_scratch(&[a, b, c])
+}
+
+/// Concatenates two string slices and a formatted tail into a freshly
+/// allocated `Arc<str>`, formatting straight into the scratch buffer — no
+/// intermediate `value.to_string()` allocation.
+///
+/// # Example
+///
+/// ```
+/// let decorated =
+///     rtms_util::concat2_fmt("/sv3Request", "#", format_args!("cb:{:#x}", 42));
+/// assert_eq!(&*decorated, "/sv3Request#cb:0x2a");
+/// ```
+pub fn concat2_fmt(a: &str, b: &str, tail: std::fmt::Arguments<'_>) -> Arc<str> {
+    use std::fmt::Write as _;
+    SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.clear();
+        buf.reserve(a.len() + b.len());
+        buf.push_str(a);
+        buf.push_str(b);
+        buf.write_fmt(tail).expect("writing to a String cannot fail");
+        Arc::from(buf.as_str())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concatenations_match_format() {
+        assert_eq!(&*concat2("/a", "Request"), "/aRequest");
+        assert_eq!(&*concat3("/a", "#", "cb:0x1"), "/a#cb:0x1");
+        assert_eq!(&*concat2("", ""), "");
+        assert_eq!(&*concat3("", "x", ""), "x");
+    }
+
+    #[test]
+    fn results_are_independent_allocations() {
+        let a = concat2("/t", "1");
+        let b = concat2("/t", "1");
+        assert_eq!(a, b);
+        assert!(!Arc::ptr_eq(&a, &b), "each call allocates its own Arc");
+        // The scratch buffer reuse must not leak earlier content.
+        let long = concat2("/a-rather-long-topic-name", "/suffix");
+        let short = concat2("/b", "");
+        assert_eq!(&*short, "/b");
+        assert_eq!(&*long, "/a-rather-long-topic-name/suffix");
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let s = concat3("/t", "#", &i.to_string());
+                    assert_eq!(&*s, format!("/t#{i}").as_str());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panic");
+        }
+    }
+}

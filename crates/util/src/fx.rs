@@ -1,0 +1,164 @@
+//! FxHash: the non-cryptographic hash used by rustc and Firefox.
+//!
+//! The algorithm folds each input word into the state with a rotate, an
+//! xor, and a multiply by a constant derived from the golden ratio. It is
+//! several times cheaper than SipHash (the `std` default) for the small
+//! keys that dominate this workspace — `u64` source timestamps, PIDs,
+//! callback IDs — at the cost of DoS resistance, which is irrelevant for
+//! maps keyed by trace-internal values.
+//!
+//! Hand-rolled against the published algorithm (see `rustc-hash`) because
+//! this workspace builds offline; behaviour is pinned by the tests below.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the golden ratio, as used by rustc's FxHash for 64-bit
+/// state.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The FxHash streaming hasher.
+///
+/// # Example
+///
+/// ```
+/// use rtms_util::FxHashMap;
+///
+/// let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+/// m.insert(17, "seventeen");
+/// assert_eq!(m.get(&17), Some(&"seventeen"));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_ne_bytes(bytes[..8].try_into().expect("8 bytes"));
+            self.add_to_hash(word);
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let word = u32::from_ne_bytes(bytes[..4].try_into().expect("4 bytes"));
+            self.add_to_hash(u64::from(word));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let word = u16::from_ne_bytes(bytes[..2].try_into().expect("2 bytes"));
+            self.add_to_hash(u64::from(word));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] producing [`FxHasher`]s; plugs into any
+/// `HashMap`/`HashSet` as the hasher parameter.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using FxHash. Drop-in for `std::collections::HashMap` on
+/// hot paths keyed by trace-internal values; construct with
+/// `FxHashMap::default()`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using FxHash; construct with `FxHashSet::default()`.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_ne!(hash_of(42u64), hash_of(43u64));
+        assert_ne!(hash_of("abc"), hash_of("abd"));
+        assert_eq!(hash_of("hello world"), hash_of("hello world"));
+    }
+
+    #[test]
+    fn byte_stream_invariance_not_required_but_stable() {
+        // Same bytes written in one call hash identically across calls.
+        let mut a = FxHasher::default();
+        a.write(b"0123456789abcdef!");
+        let mut b = FxHasher::default();
+        b.write(b"0123456789abcdef!");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut map: FxHashMap<u64, usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            map.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i as usize);
+        }
+        assert_eq!(map.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(map.get(&(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))), Some(&(i as usize)));
+        }
+        let mut set: FxHashSet<&str> = FxHashSet::default();
+        assert!(set.insert("x"));
+        assert!(!set.insert("x"));
+    }
+
+    #[test]
+    fn all_write_widths_feed_the_state() {
+        let mut h = FxHasher::default();
+        let zero = h.finish();
+        h.write_u8(1);
+        let one = h.finish();
+        assert_ne!(zero, one);
+        h.write_u16(2);
+        h.write_u32(3);
+        h.write_u64(4);
+        h.write_usize(5);
+        assert_ne!(one, h.finish());
+    }
+}

@@ -1,0 +1,24 @@
+//! Dependency-free utilities shared by the hot paths of the workspace.
+//!
+//! Two things live here, both in service of the "as fast as the hardware
+//! allows" goal (see `docs/PERFORMANCE.md`):
+//!
+//! - [`fx`] — a vendored-style FxHash implementation and the
+//!   [`FxHashMap`]/[`FxHashSet`] aliases built on it. The per-event maps of
+//!   the synthesis pipeline key on small integers ([`u64`] source
+//!   timestamps, PIDs); SipHash's DoS resistance buys nothing there and
+//!   costs a measurable fraction of the per-event budget.
+//! - [`arcstr`] — building `Arc<str>` values by concatenation without the
+//!   intermediate `String` that `format!` materializes on every call.
+//!
+//! Like the `vendor/` crates, everything is hand-rolled against the
+//! published algorithm (FxHash is the Firefox/rustc hash) rather than
+//! pulled from the registry — this workspace builds offline.
+
+#![warn(missing_docs)]
+
+pub mod arcstr;
+pub mod fx;
+
+pub use arcstr::{concat2, concat2_fmt, concat3};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

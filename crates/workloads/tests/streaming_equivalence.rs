@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 use rtms_core::{extract_callbacks, node_name_map, synthesize, Dag, SynthesisSession};
 use rtms_ros2::WorldBuilder;
-use rtms_trace::{split_by_events, Nanos, Trace};
+use rtms_trace::{split_by_events, Nanos, Trace, TraceSegment};
 use rtms_workloads::{generate_app, GeneratorConfig};
 
 fn json(dag: &Dag) -> String {
@@ -29,6 +29,96 @@ fn reference_model(trace: &Trace) -> Dag {
         .filter(|(_, list)| !list.is_empty())
         .collect();
     Dag::from_cblists(&lists, &node_name_map(trace))
+}
+
+/// The zero-copy contract of the owned ingestion path: a plain topic's
+/// name allocation — created once by the tracer side — is the *same*
+/// `Arc<str>` after traveling sink → session → model. No event payload is
+/// cloned on the way.
+#[test]
+fn topic_name_arcs_survive_sink_to_session_to_dag() {
+    use rtms_trace::{
+        CallbackId, CallbackKind, EventSink, Pid, RosEvent, RosPayload, SourceTimestamp, Topic,
+    };
+    use std::sync::Arc;
+
+    let in_topic = Topic::plain("/camera/points");
+    let out_topic = Topic::plain("/fused/points");
+    let in_name = Arc::clone(in_topic.name_arc());
+    let out_name = Arc::clone(out_topic.name_arc());
+
+    // Producer side: events pushed through the EventSink interface, as a
+    // perf-buffer drain would.
+    let mut session = SynthesisSession::new();
+    let pid = Pid::new(4);
+    session.push_ros(RosEvent::new(
+        Nanos::from_millis(0),
+        pid,
+        RosPayload::CallbackStart { kind: CallbackKind::Subscriber },
+    ));
+    session.push_ros(RosEvent::new(
+        Nanos::from_millis(0),
+        pid,
+        RosPayload::TakeData {
+            callback: CallbackId::new(1),
+            topic: in_topic,
+            src_ts: SourceTimestamp::new(7),
+        },
+    ));
+    session.push_ros(RosEvent::new(
+        Nanos::from_millis(1),
+        pid,
+        RosPayload::DdsWrite { topic: out_topic, src_ts: SourceTimestamp::new(8) },
+    ));
+    session.push_ros(RosEvent::new(
+        Nanos::from_millis(2),
+        pid,
+        RosPayload::CallbackEnd { kind: CallbackKind::Subscriber },
+    ));
+    // A downstream consumer of /fused/points on another node, reading the
+    // sample the first callback published — the same `Topic` value, as a
+    // real drain would deliver it.
+    let downstream = Pid::new(5);
+    session.push_ros(RosEvent::new(
+        Nanos::from_millis(3),
+        downstream,
+        RosPayload::CallbackStart { kind: CallbackKind::Subscriber },
+    ));
+    session.push_ros(RosEvent::new(
+        Nanos::from_millis(3),
+        downstream,
+        RosPayload::TakeData {
+            callback: CallbackId::new(2),
+            topic: Topic::plain(Arc::clone(&out_name)),
+            src_ts: SourceTimestamp::new(8),
+        },
+    ));
+    session.push_ros(RosEvent::new(
+        Nanos::from_millis(4),
+        downstream,
+        RosPayload::CallbackEnd { kind: CallbackKind::Subscriber },
+    ));
+    session.flush();
+
+    // Both names reach the callback record without a copy ...
+    let lists = session.callback_lists();
+    let (_, list) = lists.iter().find(|(p, _)| *p == pid).expect("producer node");
+    let entry = &list.entries()[0];
+    assert!(Arc::ptr_eq(entry.in_topic.as_ref().expect("in topic"), &in_name));
+    assert!(Arc::ptr_eq(&entry.out_topics[0], &out_name));
+
+    // ... and on into the model: undecorated topics share the allocation
+    // end to end — vertices and the connecting edge alike.
+    let dag = session.model();
+    let producer = dag
+        .vertices()
+        .iter()
+        .find(|v| v.in_topic.as_deref() == Some("/camera/points"))
+        .expect("producer vertex");
+    assert!(Arc::ptr_eq(producer.in_topic.as_ref().expect("in topic"), &in_name));
+    assert!(Arc::ptr_eq(&producer.out_topics[0], &out_name));
+    assert_eq!(dag.edges().len(), 1, "producer feeds the downstream subscriber");
+    assert!(Arc::ptr_eq(&dag.edges()[0].topic, &out_name));
 }
 
 proptest! {
@@ -66,6 +156,58 @@ proptest! {
                 "streamed model diverged at segment size {} (seed {})",
                 per_segment,
                 seed
+            );
+        }
+    }
+
+    /// The pipelined segment flow hands over the same segments in the same
+    /// order as the sequential reference: segments and synthesized model
+    /// are byte-identical across the generated-app population, for both
+    /// segment granularities.
+    #[test]
+    fn pipelined_trace_segments_byte_identical_to_sequential(seed in 0u64..1_000_000) {
+        let app = || generate_app(seed, &GeneratorConfig::default());
+        for segment_ms in [40u64, 200] {
+            let collect = |pipelined: bool| {
+                let mut world = WorldBuilder::new(8)
+                    .seed(seed ^ 0x5e9)
+                    .app(app())
+                    .build()
+                    .expect("generated app deploys");
+                let mut segments: Vec<TraceSegment> = Vec::new();
+                let mut session = SynthesisSession::new();
+                let total = Nanos::from_millis(600);
+                let seg = Nanos::from_millis(segment_ms);
+                let consume = |segments: &mut Vec<TraceSegment>,
+                               session: &mut SynthesisSession,
+                               segment: TraceSegment| {
+                    session.feed_segment(&segment);
+                    segments.push(segment);
+                };
+                if pipelined {
+                    world.trace_segments_pipelined(total, seg, |s| {
+                        consume(&mut segments, &mut session, s);
+                    });
+                } else {
+                    world.trace_segments_sequential(total, seg, |s| {
+                        consume(&mut segments, &mut session, s);
+                    });
+                }
+                let model = json(&session.model());
+                (segments, model)
+            };
+            let (seq_segments, seq_model) = collect(false);
+            let (pipe_segments, pipe_model) = collect(true);
+            prop_assert_eq!(
+                serde_json::to_string(&seq_segments).expect("segments serialize"),
+                serde_json::to_string(&pipe_segments).expect("segments serialize"),
+                "segments diverged at {} ms (seed {})",
+                segment_ms,
+                seed
+            );
+            prop_assert_eq!(
+                seq_model, pipe_model,
+                "pipelined model diverged at {} ms (seed {})", segment_ms, seed
             );
         }
     }

@@ -157,7 +157,7 @@ fn avp_model_matches_fig3b_structure() {
     // Junction -> cb5 -> cb6.
     assert_eq!(dag.successors(junction), vec![cb5]);
     assert_eq!(dag.successors(cb5), vec![cb6]);
-    assert!(dag.vertex(cb6).out_topics.contains(&"/localization/ndt_pose".to_string()));
+    assert!(dag.vertex(cb6).out_topics.contains(&"/localization/ndt_pose".into()));
 }
 
 #[test]
