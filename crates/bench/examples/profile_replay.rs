@@ -1,0 +1,154 @@
+//! Profiles the replay hot path stage by stage: decode-only, fused
+//! decode+feed (the path `SynthesisSession::feed_reader` takes), and
+//! feed-only over pre-decoded segments. Useful for attributing a change
+//! in the `perf` binary's replay column to the decoder or the walker —
+//! see the "Current numbers" breakdown in `docs/PERFORMANCE.md`.
+//!
+//! Run with `cargo run --release -p rtms-bench --example profile_replay`.
+
+use rtms_bench::{bench_world, RecordMeta};
+use rtms_core::SynthesisSession;
+use rtms_trace::{Nanos, SegmentReader, SegmentWriter, TraceSegment};
+use std::time::Instant;
+
+fn main() {
+    let meta = RecordMeta { secs: 20, apps: 2, seed: 0, segment_ms: 250 };
+    let mut world = bench_world(meta.apps, meta.seed);
+    let mut segments: Vec<TraceSegment> = Vec::new();
+    world.trace_segments(
+        Nanos::from_secs(meta.secs),
+        Nanos::from_millis(meta.segment_ms),
+        |s| segments.push(s),
+    );
+    let events: u64 = segments.iter().map(|s| s.len() as u64).sum();
+
+    let mut writer = SegmentWriter::new(Vec::new()).expect("header");
+    for s in &segments {
+        writer.write_segment(s).expect("encode");
+    }
+    let (file, stats) = writer.finish().expect("finish");
+    println!(
+        "{} events, {} bytes ({:.2} B/event)",
+        events,
+        stats.bytes,
+        stats.bytes as f64 / events as f64
+    );
+
+    // Event mix: which payloads dominate the stream.
+    let mut reader = SegmentReader::new(file.as_slice()).expect("header");
+    let mut ros = [0u64; 16];
+    let mut sched = 0u64;
+    while reader
+        .next_segment_events(|e| match e {
+            rtms_trace::OwnedSegmentEvent::Ros(e) => {
+                use rtms_trace::RosPayload as P;
+                let slot = match e.payload {
+                    P::NodeInit { .. } => 0,
+                    P::CallbackStart { .. } => 1,
+                    P::TimerCall { .. } => 2,
+                    P::CallbackEnd { .. } => 3,
+                    P::TakeData { .. } => 4,
+                    P::SyncSubscribe => 5,
+                    P::TakeRequest { .. } => 6,
+                    P::TakeResponse { .. } => 7,
+                    P::ClientDispatch { .. } => 8,
+                    P::DdsWrite { .. } => 9,
+                };
+                ros[slot] += 1;
+            }
+            rtms_trace::OwnedSegmentEvent::Sched(_) => sched += 1,
+        })
+        .expect("decode")
+        .is_some()
+    {}
+    let names = [
+        "NodeInit", "CbStart", "TimerCall", "CbEnd", "TakeData", "SyncSub", "TakeReq", "TakeResp",
+        "ClientDisp", "DdsWrite",
+    ];
+    for (name, count) in names.iter().zip(ros.iter()) {
+        println!("  {name:<10} {count}");
+    }
+    println!("  {:<10} {sched}", "Sched");
+
+    let reps = 20;
+
+    // Decode-only, batch into a reused segment.
+    let t = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let mut reader = SegmentReader::new(file.as_slice()).expect("header");
+        let mut seg = TraceSegment::new();
+        while reader.read_segment_into(&mut seg).expect("decode") {
+            sink += seg.len() as u64;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "decode-only (batch): {:>7.1} ns/event  {:.0} ev/s  ({sink})",
+        secs * 1e9 / events as f64,
+        events as f64 / secs
+    );
+
+    // Decode-only, streaming (no segment materialization).
+    let t = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let mut reader = SegmentReader::new(file.as_slice()).expect("header");
+        while let Some((_, len)) = reader.next_segment_events(|_e| {}).expect("decode") {
+            sink += len as u64;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "decode-only (stream): {:>6.1} ns/event  {:.0} ev/s  ({sink})",
+        secs * 1e9 / events as f64,
+        events as f64 / secs
+    );
+
+    // Feed-only, by-ref cursor over pre-collected segments.
+    let t = Instant::now();
+    let mut model = None;
+    for _ in 0..reps {
+        let mut session = SynthesisSession::new();
+        for s in &segments {
+            session.feed_segment(s);
+        }
+        model = Some(session.model());
+    }
+    let secs = t.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "feed-only (cursor): {:>8.1} ns/event  {:.0} ev/s  ({} vertices)",
+        secs * 1e9 / events as f64,
+        events as f64 / secs,
+        model.as_ref().map(|m| m.vertices().len()).unwrap_or(0)
+    );
+
+    // Fused decode+feed.
+    let t = Instant::now();
+    let mut replay = None;
+    for _ in 0..reps {
+        let mut reader = SegmentReader::new(file.as_slice()).expect("header");
+        let mut session = SynthesisSession::new();
+        session.feed_reader(&mut reader).expect("replay");
+        replay = Some(session.model());
+    }
+    let secs = t.elapsed().as_secs_f64() / reps as f64;
+    println!(
+        "fused decode+feed: {:>9.1} ns/event  {:.0} ev/s",
+        secs * 1e9 / events as f64,
+        events as f64 / secs
+    );
+    assert_eq!(replay, model, "fused replay model diverged");
+
+    // Model-build cost alone (fixed per rep).
+    let mut session = SynthesisSession::new();
+    for s in &segments {
+        session.feed_segment(s);
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        let _ = session.model();
+    }
+    let secs = t.elapsed().as_secs_f64() / reps as f64;
+    println!("model() alone: {:>13.1} us/call", secs * 1e6);
+}

@@ -1,0 +1,159 @@
+//! Records a traced run to a binary segment file (see
+//! `docs/TRACE_FORMAT.md`), or regenerates the committed replay corpus.
+//!
+//! Default mode traces the standard bench world (`apps` generated
+//! applications, fully determined by `apps`/`seed`) for `secs` simulated
+//! seconds in `segment_ms` segments and writes the segment file to
+//! `out=`. The file carries its own recording parameters in a meta
+//! frame, so `replay compare=live` can rebuild the identical world.
+//!
+//! `corpus=<dir>` instead records every case of the fixed corpus matrix
+//! ([`rtms_workloads::CORPUS_CASES`]) into `<dir>` and writes a
+//! `MANIFEST.json` with each case's parameters, file size, event count,
+//! and synthesized-model digest. Run it against `tests/corpus/` only
+//! when *intentionally* changing the wire format or synthesis semantics;
+//! the corpus regression suite exists to make accidental changes loud.
+//!
+//! Usage: `cargo run --release -p rtms-bench --bin record --
+//! out=run.seg [secs=2] [apps=2] [seed=0] [segment_ms=250]
+//! [corpus=dir] [format=text|json]`
+
+use rtms_bench::{record_to_file, replay_path, Defaults, ExperimentArgs, RecordMeta};
+use rtms_workloads::CORPUS_CASES;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct RecordReport {
+    path: String,
+    secs: u64,
+    apps: u64,
+    seed: u64,
+    segment_ms: u64,
+    segments: usize,
+    events: u64,
+    bytes: u64,
+    topics: usize,
+    record_secs: f64,
+    bytes_per_event: f64,
+}
+
+#[derive(Serialize)]
+struct ManifestEntry {
+    name: String,
+    file: String,
+    secs: u64,
+    apps: u64,
+    seed: u64,
+    segment_ms: u64,
+    segments: usize,
+    events: u64,
+    bytes: u64,
+    /// FNV-1a 64 of the replayed model's canonical JSON, in hex.
+    model_digest: String,
+}
+
+fn record_one(path: &str, meta: RecordMeta) -> RecordReport {
+    let t = Instant::now();
+    let stats = record_to_file(path, meta).unwrap_or_else(|e| panic!("recording {path}: {e}"));
+    let record_secs = t.elapsed().as_secs_f64();
+    RecordReport {
+        path: path.to_string(),
+        secs: meta.secs,
+        apps: meta.apps,
+        seed: meta.seed,
+        segment_ms: meta.segment_ms,
+        segments: stats.segments,
+        events: stats.events,
+        bytes: stats.bytes,
+        topics: stats.topics,
+        record_secs,
+        bytes_per_event: stats.bytes as f64 / (stats.events.max(1)) as f64,
+    }
+}
+
+fn regenerate_corpus(dir: &str, args: &ExperimentArgs) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+    let mut manifest = Vec::new();
+    for case in CORPUS_CASES {
+        let file = case.file_name();
+        let path = format!("{dir}/{file}");
+        let meta = RecordMeta {
+            secs: case.secs,
+            apps: case.apps,
+            seed: case.seed,
+            segment_ms: case.segment_ms,
+        };
+        let report = record_one(&path, meta);
+        let outcome = replay_path(&path).unwrap_or_else(|e| panic!("replaying {path}: {e}"));
+        manifest.push(ManifestEntry {
+            name: case.name.to_string(),
+            file,
+            secs: case.secs,
+            apps: case.apps,
+            seed: case.seed,
+            segment_ms: case.segment_ms,
+            segments: report.segments,
+            events: report.events,
+            bytes: report.bytes,
+            model_digest: format!("{:016x}", outcome.model.digest()),
+        });
+        if !args.json() {
+            println!(
+                "{:<8} {:>6} events  {:>6} bytes  digest {}",
+                case.name,
+                report.events,
+                report.bytes,
+                manifest.last().expect("just pushed").model_digest
+            );
+        }
+    }
+    let json = serde_json::to_string(&manifest).expect("manifest serializes");
+    let manifest_path = format!("{dir}/MANIFEST.json");
+    std::fs::write(&manifest_path, format!("{json}\n"))
+        .unwrap_or_else(|e| panic!("writing {manifest_path}: {e}"));
+    if args.json() {
+        println!("{json}");
+    } else {
+        println!("wrote {} cases to {dir}", manifest.len());
+    }
+}
+
+fn main() {
+    let args = ExperimentArgs::parse_or_exit(
+        "record out=run.seg [secs=2] [apps=2] [seed=0] [segment_ms=250] [corpus=dir] [format=text|json]",
+        Defaults::single_run(2, 0),
+        &["apps", "out", "segment_ms", "corpus"],
+    );
+
+    if let Some(dir) = args.extra_string("corpus") {
+        regenerate_corpus(&dir, &args);
+        return;
+    }
+
+    let Some(out) = args.extra_string("out") else {
+        eprintln!("error: record needs out=<path> (or corpus=<dir>)");
+        std::process::exit(2);
+    };
+    let meta = RecordMeta {
+        secs: args.secs(),
+        apps: args.extra_u64("apps", 2).max(1),
+        seed: args.seed(),
+        segment_ms: args.extra_u64("segment_ms", 250).max(1),
+    };
+    let report = record_one(&out, meta);
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+    println!(
+        "recorded {} events in {} segments to {} ({} bytes, {:.1} B/event, {} topics) in {:.3}s",
+        report.events,
+        report.segments,
+        report.path,
+        report.bytes,
+        report.bytes_per_event,
+        report.topics,
+        report.record_secs
+    );
+}

@@ -1,0 +1,89 @@
+//! Replays a recorded binary segment file (see `docs/TRACE_FORMAT.md`)
+//! through a fresh synthesis session and reports the model and the
+//! replay throughput.
+//!
+//! `compare=live` additionally rebuilds the world the file was recorded
+//! from (using the recording parameters in the file's meta frame),
+//! synthesizes the same run live, and asserts the two models are
+//! byte-identical — the end-to-end record→replay equivalence check the
+//! CI smoke job runs.
+//!
+//! Usage: `cargo run --release -p rtms-bench --bin replay --
+//! in=run.seg [compare=live] [format=text|json]`
+
+use rtms_bench::{live_model, replay_path, Defaults, ExperimentArgs};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ReplayReport {
+    path: String,
+    segments: usize,
+    events: u64,
+    replay_secs: f64,
+    replay_events_per_sec: f64,
+    model_vertices: usize,
+    model_digest: String,
+    compared_to_live: bool,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse_or_exit(
+        "replay in=run.seg [compare=live] [format=text|json]",
+        Defaults::single_run(2, 0),
+        &["in", "compare"],
+    );
+    let Some(path) = args.extra_string("in") else {
+        eprintln!("error: replay needs in=<path>");
+        std::process::exit(2);
+    };
+    let compare = match args.extra_string("compare").as_deref() {
+        None => false,
+        Some("live") => true,
+        Some(other) => {
+            eprintln!("error: compare={other:?} is not supported (try compare=live)");
+            std::process::exit(2);
+        }
+    };
+
+    let t = Instant::now();
+    let outcome = replay_path(&path).unwrap_or_else(|e| panic!("replaying {path}: {e}"));
+    let replay_secs = t.elapsed().as_secs_f64();
+
+    if compare {
+        let meta = outcome.meta.unwrap_or_else(|| {
+            eprintln!("error: {path} has no parseable meta frame; cannot rebuild the live world");
+            std::process::exit(2);
+        });
+        let live = live_model(meta);
+        let live_json = serde_json::to_string(&live).expect("model serializes");
+        let replay_json = serde_json::to_string(&outcome.model).expect("model serializes");
+        assert_eq!(
+            replay_json, live_json,
+            "replayed model differs from the live model of the same world"
+        );
+        if !args.json() {
+            println!("replayed model is byte-identical to the live model");
+        }
+    }
+
+    let report = ReplayReport {
+        path,
+        segments: outcome.segments,
+        events: outcome.events,
+        replay_secs,
+        replay_events_per_sec: outcome.events as f64 / replay_secs.max(1e-12),
+        model_vertices: outcome.model.vertices().len(),
+        model_digest: format!("{:016x}", outcome.model.digest()),
+        compared_to_live: compare,
+    };
+    if args.json() {
+        println!("{}", serde_json::to_string(&report).expect("report serializes"));
+        return;
+    }
+    println!(
+        "replayed {} events in {} segments from {} in {:.4}s ({:.0} events/s)",
+        report.events, report.segments, report.path, report.replay_secs, report.replay_events_per_sec
+    );
+    println!("model: {} vertices, digest {}", report.model_vertices, report.model_digest);
+}

@@ -6,6 +6,8 @@
 //! - [`harness`]: the parallel multi-run harness — N seeded simulation runs
 //!   fanned out across worker threads, results collected in run order so
 //!   output is identical for any `threads` setting.
+//! - [`record`]: record/replay plumbing shared by the `record`, `replay`,
+//!   and `perf` binaries — one world construction, one meta-frame schema.
 //! - AVP helpers ([`avp_vertex_key`], [`structure_summary`]) shared by the
 //!   table/figure binaries.
 //!
@@ -15,9 +17,11 @@
 
 pub mod args;
 pub mod harness;
+pub mod record;
 
 pub use args::{ArgError, Defaults, ExperimentArgs, OutputFormat};
 pub use harness::{Harness, RunPlan};
+pub use record::{bench_world, live_model, record_to_file, replay_path, RecordMeta, ReplayOutcome};
 
 use rtms_core::{Dag, VertexKind};
 use rtms_trace::CallbackKind;

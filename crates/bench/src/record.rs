@@ -1,0 +1,154 @@
+//! Shared record/replay plumbing for the experiment binaries.
+//!
+//! The `record` binary (and `perf record=`) traces a seeded world into a
+//! binary segment file; the `replay` binary (and `perf replay=`) feeds
+//! such a file back through a [`SynthesisSession`]. Both sides construct
+//! the world the same way from the same parameters, carried inside the
+//! file as its meta frame ([`RecordMeta`]) — so a replayed file knows how
+//! to rebuild its own live twin for equivalence checking.
+
+use rtms_core::{Dag, SynthesisSession};
+use rtms_ros2::{Ros2World, WorldBuilder};
+use rtms_trace::{CodecError, Nanos, SegmentFileStats, SegmentReader, SegmentWriter};
+use rtms_workloads::{generate_app, GeneratorConfig};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The parameters a recording was produced with, stored as the segment
+/// file's meta frame (as JSON). Enough to rebuild the identical world:
+/// the bench worlds are fully determined by `(apps, seed)` and the run by
+/// `(secs, segment_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordMeta {
+    /// Simulated seconds recorded.
+    pub secs: u64,
+    /// Number of generated applications co-deployed.
+    pub apps: u64,
+    /// World seed.
+    pub seed: u64,
+    /// Segment length in simulated milliseconds.
+    pub segment_ms: u64,
+}
+
+impl RecordMeta {
+    /// Serializes to the JSON stored in the meta frame.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("meta serializes")
+    }
+
+    /// Parses a meta frame written by [`RecordMeta::to_json`].
+    pub fn from_json(json: &str) -> Option<RecordMeta> {
+        serde_json::from_str(json).ok()
+    }
+}
+
+/// The standard bench world: `apps` generated applications on a 4-CPU
+/// machine, fully determined by `(apps, seed)`. Shared by `perf`,
+/// `record`, and `replay` so a recorded file's live twin is exactly the
+/// world the recording came from.
+pub fn bench_world(apps: u64, seed: u64) -> Ros2World {
+    let mut b = WorldBuilder::new(4).seed(seed);
+    for i in 0..apps {
+        b = b.app(generate_app(seed.wrapping_add(1000 + i), &GeneratorConfig::default()));
+    }
+    b.build().expect("generated apps deploy")
+}
+
+/// Records the world described by `meta` into a segment file at `path`.
+///
+/// # Errors
+///
+/// Returns the first encode or I/O error.
+pub fn record_to_file(path: impl AsRef<Path>, meta: RecordMeta) -> Result<SegmentFileStats, CodecError> {
+    let mut world = bench_world(meta.apps, meta.seed);
+    let mut writer = SegmentWriter::create(path)?;
+    writer.set_meta(&meta.to_json())?;
+    world.record_segments(
+        &mut writer,
+        Nanos::from_secs(meta.secs),
+        Nanos::from_millis(meta.segment_ms),
+    )?;
+    let (_, stats) = writer.finish()?;
+    Ok(stats)
+}
+
+/// What a replay produced.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// The synthesized model.
+    pub model: Dag,
+    /// Segments replayed.
+    pub segments: usize,
+    /// Events replayed.
+    pub events: u64,
+    /// The file's recording parameters, if its meta frame parses.
+    pub meta: Option<RecordMeta>,
+}
+
+/// Replays a recorded segment file into a fresh [`SynthesisSession`] and
+/// returns the synthesized model.
+///
+/// # Errors
+///
+/// Returns the first decode or I/O error.
+pub fn replay_path(path: impl AsRef<Path>) -> Result<ReplayOutcome, CodecError> {
+    let mut reader = SegmentReader::open(path)?;
+    let mut session = SynthesisSession::new();
+    let segments = session.feed_reader(&mut reader)?;
+    Ok(ReplayOutcome {
+        model: session.model(),
+        segments,
+        events: session.events_fed(),
+        meta: reader.meta().and_then(RecordMeta::from_json),
+    })
+}
+
+/// Synthesizes the model of `meta`'s world live (trace and feed, no
+/// file), for byte-identical comparison against a replayed model.
+pub fn live_model(meta: RecordMeta) -> Dag {
+    let mut world = bench_world(meta.apps, meta.seed);
+    let mut session = SynthesisSession::new();
+    world.trace_segments(
+        Nanos::from_secs(meta.secs),
+        Nanos::from_millis(meta.segment_ms),
+        |segment| session.feed_segment(&segment),
+    );
+    session.model()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trips_through_json() {
+        let meta = RecordMeta { secs: 2, apps: 2, seed: 7, segment_ms: 250 };
+        assert_eq!(RecordMeta::from_json(&meta.to_json()), Some(meta));
+        assert_eq!(RecordMeta::from_json("not json"), None);
+    }
+
+    #[test]
+    fn record_then_replay_matches_live() {
+        let dir = std::env::temp_dir()
+            .join(format!("rtms-bench-record-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.seg");
+        let meta = RecordMeta { secs: 1, apps: 1, seed: 3, segment_ms: 250 };
+        let stats = record_to_file(&path, meta).expect("record");
+        assert!(stats.segments > 0);
+        assert!(stats.events > 0);
+
+        let outcome = replay_path(&path).expect("replay");
+        assert_eq!(outcome.meta, Some(meta));
+        assert_eq!(outcome.events, stats.events);
+        assert_eq!(outcome.segments, stats.segments);
+        let live = live_model(meta);
+        assert_eq!(
+            serde_json::to_string(&outcome.model).expect("ser"),
+            serde_json::to_string(&live).expect("ser"),
+            "replayed model must be byte-identical to the live one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

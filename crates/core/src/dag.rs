@@ -294,6 +294,17 @@ impl Dag {
         }
     }
 
+    /// A stable 64-bit fingerprint of the whole model: FNV-1a 64 over the
+    /// canonical JSON serialization. Two models are byte-identical under
+    /// `serde_json::to_string` iff their digests match (up to hash
+    /// collisions), which is exactly the equivalence the streaming and
+    /// replay suites pin — so the replay corpus commits digests instead
+    /// of full models.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("model serializes");
+        rtms_util::fnv1a_64(json.as_bytes())
+    }
+
     /// The tasks.
     pub fn vertices(&self) -> &[DagVertex] {
         &self.vertices

@@ -172,6 +172,81 @@ struct PidState {
     list: CbList,
 }
 
+/// Widest `pid - base` span [`NodeTable`]'s dense vector will grow to
+/// cover before spilling to the fallback map.
+const DENSE_PID_WINDOW: usize = 1 << 16;
+
+/// Dense PID-indexed storage for [`PidState`].
+///
+/// Every event consults the state of its PID, making this the hottest
+/// map in the walker. Simulated PIDs are allocated sequentially from a
+/// common base (one executor thread per node), so states live in a
+/// vector directly indexed by `pid - base` — an add and a bounds check
+/// per event instead of a hash probe. PIDs far outside that window
+/// (possible in hand-built traces) spill to a hash map with identical
+/// semantics.
+#[derive(Debug, Default)]
+struct NodeTable {
+    /// The first PID inserted; dense slots cover `base..base + len`.
+    base: u32,
+    dense: Vec<Option<PidState>>,
+    /// States for PIDs outside the dense window.
+    spill: FxHashMap<Pid, PidState>,
+}
+
+impl NodeTable {
+    #[inline]
+    fn slot(&self, pid: Pid) -> usize {
+        pid.get().wrapping_sub(self.base) as usize
+    }
+
+    #[inline]
+    fn get(&self, pid: Pid) -> Option<&PidState> {
+        match self.dense.get(self.slot(pid)) {
+            Some(state) => state.as_ref(),
+            None if self.spill.is_empty() => None,
+            None => self.spill.get(&pid),
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, pid: Pid) -> Option<&mut PidState> {
+        let slot = self.slot(pid);
+        match self.dense.get_mut(slot) {
+            Some(state) => state.as_mut(),
+            None if self.spill.is_empty() => None,
+            None => self.spill.get_mut(&pid),
+        }
+    }
+
+    /// The state for `pid`, created default if absent.
+    #[inline]
+    fn entry(&mut self, pid: Pid) -> &mut PidState {
+        if self.dense.is_empty() && self.spill.is_empty() {
+            self.base = pid.get();
+        }
+        let slot = self.slot(pid);
+        if slot < DENSE_PID_WINDOW {
+            if slot >= self.dense.len() {
+                self.dense.resize_with(slot + 1, || None);
+            }
+            self.dense[slot].get_or_insert_with(PidState::default)
+        } else {
+            self.spill.entry(pid).or_default()
+        }
+    }
+
+    /// All `(pid, state)` pairs, in unspecified order.
+    fn iter(&self) -> impl Iterator<Item = (Pid, &PidState)> {
+        let base = self.base;
+        self.dense
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| Some((Pid::new(base.wrapping_add(i as u32)), s.as_ref()?)))
+            .chain(self.spill.iter().map(|(pid, s)| (*pid, s)))
+    }
+}
+
 /// A service-request `dds_write` not yet matched by its `take_request`,
 /// with the caller identity resolved at write time.
 #[derive(Debug)]
@@ -238,9 +313,9 @@ struct RespState {
 #[derive(Debug)]
 pub struct SynthesisSession {
     names: Arc<HashMap<Pid, String>>,
-    /// Per-node walker state. FxHash keyed by PID: consulted for every
+    /// Per-node walker state, direct-indexed by PID: consulted for every
     /// event of both streams; read paths that need PID order sort on read.
-    nodes: FxHashMap<Pid, PidState>,
+    nodes: NodeTable,
     writes: FxHashMap<SourceTimestamp, Vec<WriteEntry>>,
     responses: FxHashMap<SourceTimestamp, Vec<RespState>>,
     /// Events pushed through the `EventSink` interface, pending a
@@ -274,7 +349,7 @@ impl SynthesisSession {
     pub fn with_names(names: Arc<HashMap<Pid, String>>) -> SynthesisSession {
         SynthesisSession {
             names,
-            nodes: FxHashMap::default(),
+            nodes: NodeTable::default(),
             writes: FxHashMap::default(),
             responses: FxHashMap::default(),
             buffer: TraceSegment::new(),
@@ -334,6 +409,49 @@ impl SynthesisSession {
         self.feed_merged(trace.into_merged(), len);
     }
 
+    /// Replays a recorded segment file into the session: reads every
+    /// remaining segment from `reader` (in file order — the run order they
+    /// were recorded in) and feeds each one. Returns the number of
+    /// segments consumed.
+    ///
+    /// Decode is *fused* into the synthesis walk: segment frames store
+    /// their records in exactly the merged chronological order the walker
+    /// consumes, so each event goes codec → state machine with no
+    /// intermediate segment buffer, no re-sort, and no cursor merge.
+    /// Replay memory is one frame buffer, and the
+    /// per-event cost is decode plus the same `on_ros`/`on_sched` work
+    /// the live path does. Feeding a reader positioned at the
+    /// start of a file recorded by `Ros2World::record_segments` yields a
+    /// model byte-identical to the live run's (pinned by the
+    /// record-replay equivalence suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first decode error; segments already fed stay fed.
+    pub fn feed_reader<R: std::io::Read>(
+        &mut self,
+        reader: &mut rtms_trace::SegmentReader<R>,
+    ) -> Result<usize, rtms_trace::CodecError> {
+        let mut segments = 0;
+        loop {
+            let result = reader.next_segment_events(|event| match event {
+                OwnedSegmentEvent::Ros(e) => self.on_ros_owned(e),
+                OwnedSegmentEvent::Sched(e) => self.on_sched(&e),
+            })?;
+            match result {
+                Some((_, len)) => {
+                    // The event count is only known once the frame is
+                    // walked; begin/end bookkeeping adjusts counters, so
+                    // running both afterwards is equivalent.
+                    self.begin_feed(len);
+                    self.end_feed(len);
+                    segments += 1;
+                }
+                None => return Ok(segments),
+            }
+        }
+    }
+
     fn begin_feed(&mut self, len: usize) {
         self.segments_fed += 1;
         self.events_fed += len as u64;
@@ -391,19 +509,19 @@ impl SynthesisSession {
             RosPayload::CallbackStart { kind } => {
                 let seq = self.next_seq;
                 self.next_seq += 1;
-                let st = self.nodes.entry(pid).or_default();
+                let st = self.nodes.entry(pid);
                 st.last_identity = None;
                 st.wip = Some(OpenInstance::new(seq, *kind, e.time));
             }
             RosPayload::TimerCall { callback } => {
-                let st = self.nodes.entry(pid).or_default();
+                let st = self.nodes.entry(pid);
                 st.last_identity = Some(*callback);
                 if let Some(w) = st.wip.as_mut() {
                     w.id = Some(*callback);
                 }
             }
             RosPayload::TakeData { callback, topic, .. } => {
-                let st = self.nodes.entry(pid).or_default();
+                let st = self.nodes.entry(pid);
                 st.last_identity = Some(*callback);
                 if let Some(w) = st.wip.as_mut() {
                     w.id = Some(*callback);
@@ -417,9 +535,9 @@ impl SynthesisSession {
                 // traced) streamed past earlier and recorded its caller;
                 // the unique server consumes the entry.
                 let in_wip =
-                    self.nodes.get(&pid).is_some_and(|s| s.wip.is_some());
+                    self.nodes.get(pid).is_some_and(|s| s.wip.is_some());
                 let caller = if in_wip { self.consume_write(topic, *src_ts) } else { None };
-                let st = self.nodes.entry(pid).or_default();
+                let st = self.nodes.entry(pid);
                 st.last_identity = Some(*callback);
                 if let Some(w) = st.wip.as_mut() {
                     w.id = Some(*callback);
@@ -437,7 +555,7 @@ impl SynthesisSession {
                         obs_idx = Some(rs.obs.len() - 1);
                     }
                 }
-                let st = self.nodes.entry(pid).or_default();
+                let st = self.nodes.entry(pid);
                 st.last_identity = Some(*callback);
                 if let Some(i) = obs_idx {
                     st.awaiting_dispatch.push((*src_ts, topic.clone(), i));
@@ -450,7 +568,7 @@ impl SynthesisSession {
             RosPayload::DdsWrite { topic, src_ts } => self.on_write(pid, topic, *src_ts),
             RosPayload::ClientDispatch { will_dispatch } => {
                 let awaiting = {
-                    let st = self.nodes.entry(pid).or_default();
+                    let st = self.nodes.entry(pid);
                     if !*will_dispatch {
                         st.wip = None; // instance will not be dispatched (line 25)
                     }
@@ -466,12 +584,12 @@ impl SynthesisSession {
                 }
             }
             RosPayload::SyncSubscribe => {
-                if let Some(w) = self.nodes.entry(pid).or_default().wip.as_mut() {
+                if let Some(w) = self.nodes.entry(pid).wip.as_mut() {
                     w.sync = true;
                 }
             }
             RosPayload::CallbackEnd { .. } => {
-                let st = self.nodes.entry(pid).or_default();
+                let st = self.nodes.entry(pid);
                 let Some(w) = st.wip.take() else { return };
                 let Some(id) = w.id else { return }; // unidentifiable instance
                 let exec = w.clock.finalize(e.time);
@@ -495,14 +613,14 @@ impl SynthesisSession {
         if topic.is_service_request() {
             // Record the caller (`FindCaller` resolved at write time);
             // the first write per key wins, like the batch index.
-            let caller = self.nodes.get(&pid).and_then(|s| s.last_identity);
+            let caller = self.nodes.get(pid).and_then(|s| s.last_identity);
             let entries = self.writes.entry(src_ts).or_default();
             if !entries.iter().any(|w| &w.topic == topic) {
                 entries.push(WriteEntry { topic: topic.clone(), caller });
             }
         }
         let Some((seq, own)) =
-            self.nodes.get(&pid).and_then(|s| s.wip.as_ref().map(|w| (w.seq, w.id)))
+            self.nodes.get(pid).and_then(|s| s.wip.as_ref().map(|w| (w.seq, w.id)))
         else {
             return;
         };
@@ -514,7 +632,7 @@ impl SynthesisSession {
             OutSlot::Ready(topic.name_arc().clone())
         };
         let awaits_client = matches!(slot, OutSlot::AwaitClient { .. });
-        let st = self.nodes.get_mut(&pid).expect("wip implies state");
+        let st = self.nodes.get_mut(pid).expect("wip implies state");
         let w = st.wip.as_mut().expect("checked above");
         w.outs.push(slot);
         if awaits_client {
@@ -575,7 +693,7 @@ impl SynthesisSession {
 
     /// Fills a waiting output slot with the resolved client decoration.
     fn deliver(&mut self, waiter: Waiter, topic: &Topic, client: CallbackId) {
-        let Some(st) = self.nodes.get_mut(&waiter.pid) else { return };
+        let Some(st) = self.nodes.get_mut(waiter.pid) else { return };
         let resolved = OutSlot::Ready(cat_id(topic, Some(client)));
         if let Some(w) = st.wip.as_mut().filter(|w| w.seq == waiter.seq) {
             w.outs[waiter.slot] = resolved;
@@ -631,7 +749,7 @@ impl SynthesisSession {
         let involved = [*prev_pid, *next_pid];
         let targets = if prev_pid == next_pid { &involved[..1] } else { &involved[..] };
         for &pid in targets {
-            if let Some(w) = self.nodes.get_mut(&pid).and_then(|s| s.wip.as_mut()) {
+            if let Some(w) = self.nodes.get_mut(pid).and_then(|s| s.wip.as_mut()) {
                 w.clock.on_switch(e.time, *prev_pid, *next_pid, pid);
             }
         }
@@ -647,10 +765,9 @@ impl SynthesisSession {
     /// trace cut at this point); feeding may continue afterwards.
     pub fn callback_lists(&self) -> Vec<(Pid, CbList)> {
         let mut lists = Vec::new();
-        let mut pids: Vec<Pid> = self.nodes.keys().copied().collect();
-        pids.sort_unstable();
-        for pid in pids {
-            let st = &self.nodes[&pid];
+        let mut entries: Vec<(Pid, &PidState)> = self.nodes.iter().collect();
+        entries.sort_unstable_by_key(|&(pid, _)| pid);
+        for (pid, st) in entries {
             let mut list = st.list.clone();
             for p in &st.pending {
                 let outs = p
@@ -715,8 +832,8 @@ impl SynthesisSession {
     pub fn retained_entries(&self) -> usize {
         let instances: usize = self
             .nodes
-            .values()
-            .map(|s| s.pending.len() + usize::from(s.wip.is_some()))
+            .iter()
+            .map(|(_, s)| s.pending.len() + usize::from(s.wip.is_some()))
             .sum();
         let writes: usize = self.writes.values().map(Vec::len).sum();
         let responses: usize = self

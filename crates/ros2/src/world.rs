@@ -11,8 +11,8 @@ use rand::SeedableRng;
 use rtms_ebpf::{FunctionArgs, FunctionCall, OverheadModel, OverheadReport};
 use rtms_sched::{Affinity, PeriodicLoad, SchedSink, Simulator, SimulatorBuilder};
 use rtms_trace::{
-    CallbackId, CallbackKind, EventSink, Nanos, Pid, Priority, SchedEvent, Topic, Trace,
-    TraceSegment,
+    CallbackId, CallbackKind, CodecError, EventSink, Nanos, Pid, Priority, SchedEvent,
+    SegmentWriter, Topic, Trace, TraceSegment,
 };
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -679,6 +679,41 @@ impl Ros2World {
             on_segment(segment);
             index += 1;
         }
+    }
+
+    /// Records a segmented run to a binary segment file: the Fig. 2
+    /// stop/store/restart loop of [`Ros2World::trace_segments`], with
+    /// "store" meaning "append to `writer`". Each segment is encoded and
+    /// written as it is collected (on a multi-core machine, overlapped
+    /// with collecting the next one); call `writer.finish()` afterwards
+    /// to seal the file.
+    ///
+    /// Replaying the finished file through
+    /// `SynthesisSession::feed_reader` yields a model byte-identical to
+    /// synthesizing the same run live — segments arrive in the same order
+    /// with the same per-segment event order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error; collection stops at the end of the
+    /// segment that failed to store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_len` is zero.
+    pub fn record_segments<W: std::io::Write + Send>(
+        &mut self,
+        writer: &mut SegmentWriter<W>,
+        total: Nanos,
+        segment_len: Nanos,
+    ) -> Result<(), CodecError> {
+        let mut result = Ok(());
+        self.trace_segments(total, segment_len, |segment| {
+            if result.is_ok() {
+                result = writer.write_segment(&segment);
+            }
+        });
+        result
     }
 
     /// The PID of a node's executor thread.

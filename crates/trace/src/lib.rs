@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod event;
 pub mod ids;
 pub mod probe;
@@ -38,6 +39,7 @@ pub mod time;
 pub mod topic;
 pub mod trace;
 
+pub use codec::{crc32, crc32_update, CodecError, TopicInterner};
 pub use event::{CallbackKind, RosEvent, RosPayload};
 pub use ids::{CallbackId, Cpu, Pid, Priority};
 pub use probe::{Probe, ProbeAttachment, ProbeSpec, PROBE_CATALOG};
@@ -47,7 +49,10 @@ pub use sink::{
     split_by_events, EventSink, MergedEvents, OwnedSegmentEvent, SegmentCursor, SegmentEvent,
     TraceSegment,
 };
-pub use store::TraceStore;
+pub use store::{
+    IndexedSegmentFile, SegmentFileStats, SegmentIndexEntry, SegmentReader, SegmentWriter,
+    TraceStore, SEGMENT_FILE_MAGIC, SEGMENT_FILE_VERSION, SEGMENT_TRAILER_MAGIC,
+};
 pub use time::Nanos;
 pub use topic::{SourceTimestamp, Topic, TopicKind};
 pub use trace::Trace;

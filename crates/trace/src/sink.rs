@@ -88,6 +88,24 @@ impl TraceSegment {
         self.index
     }
 
+    /// Overwrites the segment's position in the run (used when a reused
+    /// decode buffer takes on the identity of the next stored segment).
+    pub fn set_index(&mut self, index: usize) {
+        self.index = index;
+    }
+
+    /// Removes all events, keeping both streams' capacity (see
+    /// [`Trace::clear`]).
+    pub fn clear(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Reserves capacity for the given number of additional events per
+    /// stream (see [`Trace::reserve`]).
+    pub fn reserve(&mut self, ros: usize, sched: usize) {
+        self.trace.reserve(ros, sched);
+    }
+
     /// The ROS2 events, in insertion order.
     pub fn ros_events(&self) -> &[RosEvent] {
         self.trace.ros_events()

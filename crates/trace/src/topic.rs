@@ -87,6 +87,19 @@ impl Topic {
         }
     }
 
+    /// Reassembles a topic from a name and a kind, storing the name
+    /// verbatim — unlike [`Topic::service_request`]/
+    /// [`Topic::service_response`], **no** suffix is appended.
+    ///
+    /// This is the decoder-side constructor: the binary codec
+    /// (`rtms_trace::codec`) stores the final name in its dictionary and
+    /// the kind bits next to the reference, and rebuilding the topic must
+    /// not re-decorate the name. The `Arc` is stored as-is, so every
+    /// event decoded against one dictionary entry shares one allocation.
+    pub fn from_raw_parts(name: impl Into<Arc<str>>, kind: TopicKind) -> Self {
+        Topic { name: name.into(), kind }
+    }
+
     /// The topic name, e.g. `/lidars/points_fused`.
     pub fn name(&self) -> &str {
         &self.name

@@ -62,6 +62,21 @@ impl Trace {
         self.ros_events.push(event);
     }
 
+    /// Removes all events, keeping the allocated capacity — lets a decode
+    /// or drain loop reuse one trace as a scratch buffer.
+    pub fn clear(&mut self) {
+        self.ros_events.clear();
+        self.sched_events.clear();
+    }
+
+    /// Reserves capacity for at least the given number of additional
+    /// events per stream (used by the binary decoder, which knows both
+    /// stream lengths up front).
+    pub fn reserve(&mut self, ros: usize, sched: usize) {
+        self.ros_events.reserve(ros);
+        self.sched_events.reserve(sched);
+    }
+
     /// Appends a scheduler event.
     pub fn push_sched(&mut self, event: SchedEvent) {
         self.sched_events.push(event);

@@ -1,0 +1,47 @@
+//! FNV-1a 64-bit hashing.
+//!
+//! A tiny, dependency-free, stable content hash — the fingerprint the
+//! replay-corpus regression suite pins synthesized models with. Unlike
+//! [`crate::FxHasher`] (fast but explicitly unstable across versions),
+//! FNV-1a is a fixed published algorithm: a digest written into a corpus
+//! manifest today must still verify years from now, on any platform.
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a 64.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(rtms_util::fnv1a_64(b""), 0xcbf29ce484222325);
+/// assert_eq!(rtms_util::fnv1a_64(b"foobar"), 0x85944171f73967e8);
+/// ```
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV1A_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV1A_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
+    }
+}

@@ -10,15 +10,25 @@
 //!   costs a measurable fraction of the per-event budget.
 //! - [`arcstr`] — building `Arc<str>` values by concatenation without the
 //!   intermediate `String` that `format!` materializes on every call.
+//! - [`varint`] — LEB128 variable-length integers (plus the ZigZag
+//!   mapping), the packing primitive of the binary trace codec in
+//!   `rtms_trace::codec`.
+//! - [`fnv`] — FNV-1a 64, the *stable* content hash the replay corpus
+//!   pins model digests with (FxHash is free to change; a committed
+//!   digest is not).
 //!
 //! Like the `vendor/` crates, everything is hand-rolled against the
-//! published algorithm (FxHash is the Firefox/rustc hash) rather than
-//! pulled from the registry — this workspace builds offline.
+//! published algorithm (FxHash is the Firefox/rustc hash, LEB128 is the
+//! DWARF/protobuf varint) rather than pulled from the registry — this
+//! workspace builds offline.
 
 #![warn(missing_docs)]
 
 pub mod arcstr;
+pub mod fnv;
 pub mod fx;
+pub mod varint;
 
 pub use arcstr::{concat2, concat2_fmt, concat3};
+pub use fnv::fnv1a_64;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

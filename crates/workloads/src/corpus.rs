@@ -1,0 +1,81 @@
+//! The golden replay corpus: the fixed matrix of small seeded workloads
+//! whose recorded traces are committed under `tests/corpus/` at the repo
+//! root.
+//!
+//! Each case names a tiny world — a seed, an app count, a run length, a
+//! segment length — that the `record` experiment binary (with
+//! `corpus=<dir>`) traces into a binary segment file. The committed
+//! corpus pins two things at once:
+//!
+//! - **the wire format**: decoding a years-old file must still work
+//!   byte-for-byte (any codec change that breaks it needs a version
+//!   bump, see `docs/TRACE_FORMAT.md`);
+//! - **the synthesis semantics**: the model digest of each replayed file
+//!   is committed in `MANIFEST.json`, so a behavioural change to the
+//!   synthesis pipeline shows up as a digest mismatch even if the codec
+//!   is untouched.
+//!
+//! The matrix is deliberately small (one simulated second per case, a
+//! few KB per file) but varied: single- and multi-app worlds, segment
+//! lengths from 50 ms (many small segments) to 250 ms (few large ones).
+
+/// One corpus case: the parameters of a recorded world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusCase {
+    /// Case name; the recorded file is `<name>.seg`.
+    pub name: &'static str,
+    /// Simulated seconds recorded.
+    pub secs: u64,
+    /// Generated applications co-deployed.
+    pub apps: u64,
+    /// World seed.
+    pub seed: u64,
+    /// Segment length in simulated milliseconds.
+    pub segment_ms: u64,
+}
+
+impl CorpusCase {
+    /// The corpus file name of this case, `<name>.seg`.
+    pub fn file_name(&self) -> String {
+        format!("{}.seg", self.name)
+    }
+}
+
+/// The fixed corpus matrix. Append-only by convention: adding a case is
+/// cheap, changing an existing one silently retires the regression it
+/// carried.
+pub const CORPUS_CASES: [CorpusCase; 10] = [
+    CorpusCase { name: "app-a", secs: 1, apps: 1, seed: 11, segment_ms: 250 },
+    CorpusCase { name: "app-b", secs: 1, apps: 1, seed: 12, segment_ms: 250 },
+    CorpusCase { name: "app-c", secs: 1, apps: 1, seed: 13, segment_ms: 250 },
+    CorpusCase { name: "app-d", secs: 1, apps: 1, seed: 14, segment_ms: 250 },
+    CorpusCase { name: "app-e", secs: 1, apps: 1, seed: 15, segment_ms: 100 },
+    CorpusCase { name: "app-f", secs: 1, apps: 1, seed: 16, segment_ms: 100 },
+    CorpusCase { name: "app-g", secs: 1, apps: 1, seed: 17, segment_ms: 50 },
+    CorpusCase { name: "app-h", secs: 1, apps: 1, seed: 18, segment_ms: 50 },
+    CorpusCase { name: "duo-a", secs: 1, apps: 2, seed: 21, segment_ms: 250 },
+    CorpusCase { name: "duo-b", secs: 1, apps: 2, seed: 22, segment_ms: 50 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_names_are_unique_file_stems() {
+        let mut names: Vec<&str> = CORPUS_CASES.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CORPUS_CASES.len());
+        assert_eq!(CORPUS_CASES[0].file_name(), "app-a.seg");
+    }
+
+    #[test]
+    fn cases_stay_cheap_to_record() {
+        for c in CORPUS_CASES {
+            assert!(c.secs <= 2, "{}: corpus cases must stay tiny", c.name);
+            assert!(c.apps <= 2, "{}: corpus cases must stay tiny", c.name);
+            assert!(c.segment_ms >= 50 && c.segment_ms <= 250, "{}", c.name);
+        }
+    }
+}

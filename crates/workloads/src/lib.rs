@@ -17,9 +17,12 @@
 //! - [`faults`]: a fault-scenario layer on top of the generator — random
 //!   applications plus a seeded [`rtms_ros2::FaultPlan`] and the
 //!   ground-truth fault list, for monitoring/detection experiments.
+//! - [`corpus`]: the fixed matrix of small seeded workloads behind the
+//!   committed replay corpus (`tests/corpus/` at the repo root).
 
 pub mod avp;
 pub mod case_study;
+pub mod corpus;
 pub mod faults;
 pub mod generator;
 pub mod syn;
@@ -32,6 +35,7 @@ pub use case_study::{
     case_study_run_conditions, case_study_world, case_study_world_for_run,
     case_study_world_with_condition, run_and_synthesize, synthesize_runs, RunCondition,
 };
+pub use corpus::{CorpusCase, CORPUS_CASES};
 pub use faults::{
     generate_fault_scenario, monitor_run, monitoring_app_config, ExpectedAlert, FaultScenario,
     FaultScenarioConfig, InjectedFault,

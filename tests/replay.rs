@@ -1,0 +1,149 @@
+//! Replay regression tests: the committed golden corpus and large-scale
+//! record→replay equivalence.
+//!
+//! The corpus under `tests/corpus/` pins the binary trace format *and*
+//! the synthesis semantics at once: each committed `.seg` file must keep
+//! decoding byte-for-byte, and replaying it must keep producing the
+//! model digest committed in `MANIFEST.json`. Regenerate with
+//! `cargo run --release -p rtms-bench --bin record -- corpus=tests/corpus`
+//! only when intentionally changing the format or the synthesis
+//! semantics (see `docs/TRACE_FORMAT.md`).
+
+use rtms_bench::{bench_world, live_model, replay_path, RecordMeta};
+use rtms_core::SynthesisSession;
+use rtms_trace::{Nanos, SegmentReader, SegmentWriter};
+use rtms_workloads::CORPUS_CASES;
+use serde::Deserialize;
+use std::path::PathBuf;
+
+/// Mirror of the manifest entries `record corpus=` writes.
+#[derive(Deserialize)]
+struct ManifestEntry {
+    name: String,
+    file: String,
+    secs: u64,
+    apps: u64,
+    seed: u64,
+    segment_ms: u64,
+    segments: usize,
+    events: u64,
+    bytes: u64,
+    model_digest: String,
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn load_manifest() -> Vec<ManifestEntry> {
+    let path = corpus_dir().join("MANIFEST.json");
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e} (is the corpus committed?)", path.display()));
+    serde_json::from_str(&json).expect("MANIFEST.json parses")
+}
+
+/// Every committed corpus file still decodes, still carries its recorded
+/// parameters, and still replays to the committed model digest. This is
+/// the backward-compatibility pin: a codec change that breaks years-old
+/// files, or a synthesis change that silently alters models, fails here.
+#[test]
+fn corpus_replays_to_committed_digests() {
+    let manifest = load_manifest();
+    assert_eq!(
+        manifest.len(),
+        CORPUS_CASES.len(),
+        "manifest out of sync with CORPUS_CASES; regenerate the corpus"
+    );
+    for entry in &manifest {
+        let case = CORPUS_CASES
+            .iter()
+            .find(|c| c.name == entry.name)
+            .unwrap_or_else(|| panic!("manifest case {:?} not in CORPUS_CASES", entry.name));
+        let path = corpus_dir().join(&entry.file);
+        let on_disk = std::fs::metadata(&path)
+            .unwrap_or_else(|e| panic!("stat {}: {e}", path.display()))
+            .len();
+        assert_eq!(on_disk, entry.bytes, "{}: file size drifted", entry.name);
+
+        let outcome =
+            replay_path(&path).unwrap_or_else(|e| panic!("replaying {}: {e}", entry.name));
+        assert_eq!(outcome.events, entry.events, "{}: event count drifted", entry.name);
+        assert_eq!(outcome.segments, entry.segments, "{}: segment count drifted", entry.name);
+        assert_eq!(
+            outcome.meta,
+            Some(RecordMeta {
+                secs: case.secs,
+                apps: case.apps,
+                seed: case.seed,
+                segment_ms: case.segment_ms,
+            }),
+            "{}: meta frame drifted",
+            entry.name
+        );
+        assert_eq!(
+            format!("{:016x}", outcome.model.digest()),
+            entry.model_digest,
+            "{}: replayed model digest drifted from the committed one",
+            entry.name
+        );
+    }
+}
+
+/// Today's live synthesis of each corpus world still produces the
+/// committed digest — the committed file, the committed digest, and the
+/// current simulator+synthesizer all agree.
+#[test]
+fn corpus_digests_match_live_synthesis() {
+    for entry in load_manifest() {
+        let meta = RecordMeta {
+            secs: entry.secs,
+            apps: entry.apps,
+            seed: entry.seed,
+            segment_ms: entry.segment_ms,
+        };
+        let live = live_model(meta);
+        assert_eq!(
+            format!("{:016x}", live.digest()),
+            entry.model_digest,
+            "{}: live synthesis no longer matches the committed digest",
+            entry.name
+        );
+    }
+}
+
+/// Record→replay equivalence across a wide sweep of generated apps: the
+/// replayed model is byte-identical (as canonical JSON) to the live one
+/// for every world. Debug builds sweep a subset to keep `cargo test`
+/// quick; release builds (and the CI replay job) cover all 100.
+#[test]
+fn generated_apps_replay_byte_identical() {
+    let seeds = if cfg!(debug_assertions) { 12u64 } else { 100 };
+    for seed in 0..seeds {
+        let meta = RecordMeta { secs: 1, apps: 1, seed, segment_ms: 250 };
+
+        let mut world = bench_world(meta.apps, meta.seed);
+        let mut writer = SegmentWriter::new(Vec::new()).expect("header");
+        writer.set_meta(&meta.to_json()).expect("meta");
+        world
+            .record_segments(
+                &mut writer,
+                Nanos::from_secs(meta.secs),
+                Nanos::from_millis(meta.segment_ms),
+            )
+            .expect("record");
+        let (file, stats) = writer.finish().expect("finish");
+        assert!(stats.events > 0, "seed {seed}: empty recording");
+
+        let mut reader = SegmentReader::new(file.as_slice()).expect("header");
+        let mut session = SynthesisSession::new();
+        session.feed_reader(&mut reader).expect("replay");
+        let replayed = session.model();
+
+        let live = live_model(meta);
+        assert_eq!(
+            serde_json::to_string(&replayed).expect("ser"),
+            serde_json::to_string(&live).expect("ser"),
+            "seed {seed}: replayed model is not byte-identical to the live model"
+        );
+    }
+}
