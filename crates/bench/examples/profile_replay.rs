@@ -12,7 +12,7 @@ use rtms_trace::{Nanos, SegmentReader, SegmentWriter, TraceSegment};
 use std::time::Instant;
 
 fn main() {
-    let meta = RecordMeta { secs: 20, apps: 2, seed: 0, segment_ms: 250 };
+    let meta = RecordMeta { secs: 20, apps: 2, seed: 0, segment_ms: 250, profile: Default::default() };
     let mut world = bench_world(meta.apps, meta.seed);
     let mut segments: Vec<TraceSegment> = Vec::new();
     world.trace_segments(

@@ -3,7 +3,8 @@
 //!
 //! For each of `apps` scenarios (seeds `seed..seed+apps`), a random
 //! application with `faults` injected faults (slowdown / timer stutter /
-//! muted publisher, activating just after the baseline phase) is traced as
+//! muted publisher / message drop, activating just after the baseline
+//! phase) is traced as
 //! `segment_ms` segments for `secs` simulated seconds. The first third of
 //! the segments (at least two) feed a cumulative `SynthesisSession` whose
 //! model becomes the healthy `Baseline`; every later segment is
@@ -13,12 +14,18 @@
 //! asserts full recall with latency ≤ 2 segments, the contract the
 //! monitor subsystem is built around.
 //!
+//! `drop_pct=`/`reorder=`/`jitter_us=` degrade the transport QoS of every
+//! scenario world (best-effort drops, bounded reorder, latency jitter), so
+//! the detection contract is scored over a lossy transport too: the
+//! baseline is learned under the same degraded QoS, and injected faults
+//! must still be caught through the background loss.
+//!
 //! Usage: `cargo run --release -p rtms-bench --bin monitoring --
-//! [secs=12] [segment_ms=500] [apps=4] [faults=2] [seed=0]
-//! [format=text|json]`
+//! [secs=12] [segment_ms=500] [apps=4] [faults=2] [seed=0] [drop_pct=0]
+//! [reorder=0] [jitter_us=0] [format=text|json]`
 
 use rtms_bench::{Defaults, ExperimentArgs};
-use rtms_ros2::WorldBuilder;
+use rtms_ros2::{QosSpec, WorldBuilder};
 use rtms_trace::Nanos;
 use rtms_workloads::{generate_fault_scenario, monitor_run, ExpectedAlert, FaultScenarioConfig};
 use serde::Serialize;
@@ -57,6 +64,9 @@ struct Report {
     apps: u64,
     faults: u64,
     seed: u64,
+    drop_pct: u64,
+    reorder: u64,
+    jitter_us: u64,
     baseline_segments: usize,
     monitored_segments: usize,
     injected_total: usize,
@@ -75,18 +85,38 @@ fn expected_name(e: ExpectedAlert) -> &'static str {
         ExpectedAlert::ExecDrift => "exec_drift",
         ExpectedAlert::PeriodDrift => "period_drift",
         ExpectedAlert::TopologyChange => "topology_change",
+        ExpectedAlert::MessageLoss => "message_loss",
     }
 }
 
 fn main() {
     let args = ExperimentArgs::parse_or_exit(
-        "monitoring [secs=12] [segment_ms=500] [apps=4] [faults=2] [seed=0] [format=text|json]",
+        "monitoring [secs=12] [segment_ms=500] [apps=4] [faults=2] [seed=0] [drop_pct=0] [reorder=0] [jitter_us=0] [format=text|json]",
         Defaults::single_run(12, 0),
-        &["segment_ms", "apps", "faults"],
+        &["segment_ms", "apps", "faults", "drop_pct", "reorder", "jitter_us"],
     );
     let segment_ms = args.extra_u64("segment_ms", 500).max(1);
     let apps = args.extra_u64("apps", 4).max(1);
     let faults = args.extra_u64("faults", 2);
+    let drop_pct = args.extra_u64("drop_pct", 0);
+    let reorder = args.extra_u64("reorder", 0);
+    let jitter_us = args.extra_u64("jitter_us", 0);
+    if drop_pct >= 100 {
+        eprintln!("error: drop_pct={drop_pct} must be below 100");
+        std::process::exit(2);
+    }
+    if drop_pct > 0 && reorder == 0 {
+        eprintln!(
+            "error: drop_pct={drop_pct} needs reorder>=1 (a reliable spec never drops; \
+             reorder marks the spec best-effort)"
+        );
+        std::process::exit(2);
+    }
+    let qos = QosSpec {
+        drop_prob: drop_pct as f64 / 100.0,
+        reorder_bound: reorder as usize,
+        jitter: Nanos::from_micros(jitter_us),
+    };
     let segment = Nanos::from_millis(segment_ms);
 
     let total_segments = ((args.secs() * 1_000).div_ceil(segment_ms) as usize).max(4);
@@ -116,6 +146,7 @@ fn main() {
         );
         let mut world = WorldBuilder::new(4)
             .seed(scenario_seed)
+            .qos(qos)
             .app(scenario.app.clone())
             .fault_plan(scenario.plan.clone())
             .build()
@@ -175,6 +206,9 @@ fn main() {
         apps,
         faults,
         seed: args.seed(),
+        drop_pct,
+        reorder,
+        jitter_us,
         baseline_segments,
         monitored_segments,
         injected_total,
@@ -220,6 +254,12 @@ fn main() {
         report.apps, report.injected_total, report.baseline_segments, report.monitored_segments,
         report.segment_ms
     );
+    if !qos.is_reliable() {
+        println!(
+            "  lossy transport: {}% drops, reorder bound {}, jitter {} us",
+            report.drop_pct, report.reorder, report.jitter_us
+        );
+    }
     println!();
     println!("  seed  nodes  cbs  injected  detected  alerts  matched");
     for app in &report.per_app {

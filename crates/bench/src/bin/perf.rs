@@ -235,6 +235,7 @@ fn record_mode(path: &str, args: &ExperimentArgs) {
         apps: args.extra_u64("apps", 2).max(1),
         seed: args.seed(),
         segment_ms: args.extra_u64("segment_ms", 250).max(1),
+        profile: Default::default(),
     };
     let t = Instant::now();
     let stats = record_to_file(path, meta).unwrap_or_else(|e| panic!("recording {path}: {e}"));

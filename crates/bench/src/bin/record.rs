@@ -19,7 +19,7 @@
 //! [corpus=dir] [format=text|json]`
 
 use rtms_bench::{record_to_file, replay_path, Defaults, ExperimentArgs, RecordMeta};
-use rtms_workloads::CORPUS_CASES;
+use rtms_workloads::{WorldProfile, CORPUS_CASES};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -38,7 +38,6 @@ struct RecordReport {
     bytes_per_event: f64,
 }
 
-#[derive(Serialize)]
 struct ManifestEntry {
     name: String,
     file: String,
@@ -46,11 +45,37 @@ struct ManifestEntry {
     apps: u64,
     seed: u64,
     segment_ms: u64,
+    /// World construction recipe; omitted for standard worlds so the
+    /// manifest entries of pre-profile cases keep their exact bytes.
+    profile: WorldProfile,
     segments: usize,
     events: u64,
     bytes: u64,
     /// FNV-1a 64 of the replayed model's canonical JSON, in hex.
     model_digest: String,
+}
+
+// Manual impl: the vendored serde derive cannot omit the profile field
+// for standard worlds.
+impl serde::Serialize for ManifestEntry {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("file".to_string(), self.file.to_value()),
+            ("secs".to_string(), self.secs.to_value()),
+            ("apps".to_string(), self.apps.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("segment_ms".to_string(), self.segment_ms.to_value()),
+        ];
+        if !self.profile.is_standard() {
+            fields.push(("profile".to_string(), self.profile.to_value()));
+        }
+        fields.push(("segments".to_string(), self.segments.to_value()));
+        fields.push(("events".to_string(), self.events.to_value()));
+        fields.push(("bytes".to_string(), self.bytes.to_value()));
+        fields.push(("model_digest".to_string(), self.model_digest.to_value()));
+        serde::Value::Object(fields)
+    }
 }
 
 fn record_one(path: &str, meta: RecordMeta) -> RecordReport {
@@ -83,6 +108,7 @@ fn regenerate_corpus(dir: &str, args: &ExperimentArgs) {
             apps: case.apps,
             seed: case.seed,
             segment_ms: case.segment_ms,
+            profile: case.profile,
         };
         let report = record_one(&path, meta);
         let outcome = replay_path(&path).unwrap_or_else(|e| panic!("replaying {path}: {e}"));
@@ -93,6 +119,7 @@ fn regenerate_corpus(dir: &str, args: &ExperimentArgs) {
             apps: case.apps,
             seed: case.seed,
             segment_ms: case.segment_ms,
+            profile: case.profile,
             segments: report.segments,
             events: report.events,
             bytes: report.bytes,
@@ -140,6 +167,7 @@ fn main() {
         apps: args.extra_u64("apps", 2).max(1),
         seed: args.seed(),
         segment_ms: args.extra_u64("segment_ms", 250).max(1),
+        profile: Default::default(),
     };
     let report = record_one(&out, meta);
     if args.json() {

@@ -7,9 +7,14 @@
 //! reports structure, spec coverage, mean per-node loads, and fan-out
 //! throughput.
 //!
+//! `preset=` selects a scenario generator instead of the default
+//! `scaled(scale)` mix: `city` (100+-node AD pipelines mixing
+//! multi-threaded executors and bursty publishers), `multi-threaded`, or
+//! `bursty`.
+//!
 //! Usage: `cargo run --release -p rtms-bench --bin scaling -- [runs=8]
 //! [secs=10] [seed=0] [threads=N] [apps=2] [scale=1] [cores=12]
-//! [format=text|json]`
+//! [preset=standard|city|multi-threaded|bursty] [format=text|json]`
 
 use rtms_analysis::node_loads_across_runs;
 use rtms_bench::{structure_summary, Defaults, ExperimentArgs, Harness};
@@ -32,6 +37,7 @@ struct Report {
     threads: usize,
     apps: usize,
     scale: usize,
+    preset: String,
     spec_nodes: usize,
     spec_callbacks: usize,
     model_vertices: usize,
@@ -46,17 +52,29 @@ struct Report {
 
 fn main() {
     let args = ExperimentArgs::parse_or_exit(
-        "scaling [runs=8] [secs=10] [seed=0] [threads=N] [apps=2] [scale=1] [cores=12] [format=text|json]",
+        "scaling [runs=8] [secs=10] [seed=0] [threads=N] [apps=2] [scale=1] [cores=12] [preset=standard|city|multi-threaded|bursty] [format=text|json]",
         Defaults { runs: 8, secs: 10, seed: 0 },
-        &["apps", "scale", "cores"],
+        &["apps", "scale", "cores", "preset"],
     );
     let n_apps = args.extra_u64("apps", 2).max(1) as usize;
     let scale = args.extra_u64("scale", 1).max(1) as usize;
     let cores = args.extra_u64("cores", 12).max(1) as usize;
+    let preset = args.extra_string("preset").unwrap_or_else(|| "standard".to_string());
 
     // The scenario is fixed by `seed`: the same apps in every run. Distinct
     // per-app seeds keep co-deployed names and services collision-free.
-    let cfg = GeneratorConfig::scaled(scale);
+    let cfg = match preset.as_str() {
+        "standard" => GeneratorConfig::scaled(scale),
+        "city" => GeneratorConfig::city(),
+        "multi-threaded" => GeneratorConfig::multi_threaded(),
+        "bursty" => GeneratorConfig::bursty(),
+        other => {
+            eprintln!(
+                "error: unknown preset {other:?} (expected standard, city, multi-threaded, or bursty)"
+            );
+            std::process::exit(2);
+        }
+    };
     let specs: Vec<AppSpec> =
         (0..n_apps).map(|k| generate_app(args.seed() + 7919 * k as u64, &cfg)).collect();
     let spec_nodes: usize = specs.iter().map(|a| a.nodes.len()).sum();
@@ -92,6 +110,7 @@ fn main() {
         threads: args.threads(),
         apps: n_apps,
         scale,
+        preset: preset.clone(),
         spec_nodes,
         spec_callbacks,
         model_vertices: merged.vertices().len(),
@@ -122,8 +141,8 @@ fn main() {
     }
 
     println!(
-        "Scaling: {} generated apps (scale {}), {} runs x {}s, {} threads",
-        report.apps, report.scale, report.runs, report.secs, report.threads
+        "Scaling: {} generated apps (scale {}, preset {}), {} runs x {}s, {} threads",
+        report.apps, report.scale, report.preset, report.runs, report.secs, report.threads
     );
     println!();
     println!("spec:  {} nodes, {} callbacks", report.spec_nodes, report.spec_callbacks);

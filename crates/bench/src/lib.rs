@@ -21,7 +21,10 @@ pub mod record;
 
 pub use args::{ArgError, Defaults, ExperimentArgs, OutputFormat};
 pub use harness::{Harness, RunPlan};
-pub use record::{bench_world, live_model, record_to_file, replay_path, RecordMeta, ReplayOutcome};
+pub use record::{
+    bench_world, bench_world_profiled, live_model, record_to_file, replay_path, RecordMeta,
+    ReplayOutcome,
+};
 
 use rtms_core::{Dag, VertexKind};
 use rtms_trace::CallbackKind;

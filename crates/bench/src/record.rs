@@ -8,17 +8,17 @@
 //! to rebuild its own live twin for equivalence checking.
 
 use rtms_core::{Dag, SynthesisSession};
-use rtms_ros2::{Ros2World, WorldBuilder};
+use rtms_ros2::{QosSpec, Ros2World, WorldBuilder};
 use rtms_trace::{CodecError, Nanos, SegmentFileStats, SegmentReader, SegmentWriter};
-use rtms_workloads::{generate_app, GeneratorConfig};
-use serde::{Deserialize, Serialize};
+use rtms_workloads::{generate_app, GeneratorConfig, WorldProfile};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::path::Path;
 
 /// The parameters a recording was produced with, stored as the segment
 /// file's meta frame (as JSON). Enough to rebuild the identical world:
-/// the bench worlds are fully determined by `(apps, seed)` and the run by
-/// `(secs, segment_ms)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// the bench worlds are fully determined by `(apps, seed, profile)` and
+/// the run by `(secs, segment_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecordMeta {
     /// Simulated seconds recorded.
     pub secs: u64,
@@ -28,6 +28,44 @@ pub struct RecordMeta {
     pub seed: u64,
     /// Segment length in simulated milliseconds.
     pub segment_ms: u64,
+    /// World construction recipe. Omitted from the JSON when standard,
+    /// so recordings of standard worlds keep the exact meta bytes older
+    /// readers pinned — and frames written before profiles existed parse
+    /// as standard.
+    pub profile: WorldProfile,
+}
+
+// Manual impls (the vendored serde derive has no `default` /
+// `skip_serializing_if`): the profile field is optional on the wire.
+impl Serialize for RecordMeta {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("secs".to_string(), self.secs.to_value()),
+            ("apps".to_string(), self.apps.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("segment_ms".to_string(), self.segment_ms.to_value()),
+        ];
+        if !self.profile.is_standard() {
+            fields.push(("profile".to_string(), self.profile.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for RecordMeta {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = serde::expect_object(v)?;
+        Ok(RecordMeta {
+            secs: u64::from_value(serde::expect_field(obj, "secs")?)?,
+            apps: u64::from_value(serde::expect_field(obj, "apps")?)?,
+            seed: u64::from_value(serde::expect_field(obj, "seed")?)?,
+            segment_ms: u64::from_value(serde::expect_field(obj, "segment_ms")?)?,
+            profile: match obj.iter().find(|(k, _)| k == "profile") {
+                Some((_, v)) => WorldProfile::from_value(v)?,
+                None => WorldProfile::Standard,
+            },
+        })
+    }
 }
 
 impl RecordMeta {
@@ -47,9 +85,28 @@ impl RecordMeta {
 /// `record`, and `replay` so a recorded file's live twin is exactly the
 /// world the recording came from.
 pub fn bench_world(apps: u64, seed: u64) -> Ros2World {
+    bench_world_profiled(apps, seed, WorldProfile::Standard)
+}
+
+/// [`bench_world`] under a scenario [`WorldProfile`]: multi-threaded
+/// executors, degraded QoS, or bursty publishers. The standard profile is
+/// exactly the classic bench world.
+pub fn bench_world_profiled(apps: u64, seed: u64, profile: WorldProfile) -> Ros2World {
+    let config = match profile {
+        WorldProfile::Standard | WorldProfile::Lossy => GeneratorConfig::default(),
+        WorldProfile::MultiThreaded => GeneratorConfig::multi_threaded(),
+        WorldProfile::Bursty => GeneratorConfig::bursty(),
+    };
     let mut b = WorldBuilder::new(4).seed(seed);
+    if profile == WorldProfile::Lossy {
+        b = b.qos(QosSpec {
+            drop_prob: 0.15,
+            reorder_bound: 2,
+            jitter: Nanos::from_micros(200),
+        });
+    }
     for i in 0..apps {
-        b = b.app(generate_app(seed.wrapping_add(1000 + i), &GeneratorConfig::default()));
+        b = b.app(generate_app(seed.wrapping_add(1000 + i), &config));
     }
     b.build().expect("generated apps deploy")
 }
@@ -60,7 +117,7 @@ pub fn bench_world(apps: u64, seed: u64) -> Ros2World {
 ///
 /// Returns the first encode or I/O error.
 pub fn record_to_file(path: impl AsRef<Path>, meta: RecordMeta) -> Result<SegmentFileStats, CodecError> {
-    let mut world = bench_world(meta.apps, meta.seed);
+    let mut world = bench_world_profiled(meta.apps, meta.seed, meta.profile);
     let mut writer = SegmentWriter::create(path)?;
     writer.set_meta(&meta.to_json())?;
     world.record_segments(
@@ -106,7 +163,7 @@ pub fn replay_path(path: impl AsRef<Path>) -> Result<ReplayOutcome, CodecError> 
 /// Synthesizes the model of `meta`'s world live (trace and feed, no
 /// file), for byte-identical comparison against a replayed model.
 pub fn live_model(meta: RecordMeta) -> Dag {
-    let mut world = bench_world(meta.apps, meta.seed);
+    let mut world = bench_world_profiled(meta.apps, meta.seed, meta.profile);
     let mut session = SynthesisSession::new();
     world.trace_segments(
         Nanos::from_secs(meta.secs),
@@ -122,9 +179,51 @@ mod tests {
 
     #[test]
     fn meta_round_trips_through_json() {
-        let meta = RecordMeta { secs: 2, apps: 2, seed: 7, segment_ms: 250 };
+        let meta =
+            RecordMeta { secs: 2, apps: 2, seed: 7, segment_ms: 250, profile: WorldProfile::Standard };
         assert_eq!(RecordMeta::from_json(&meta.to_json()), Some(meta));
         assert_eq!(RecordMeta::from_json("not json"), None);
+    }
+
+    #[test]
+    fn standard_meta_bytes_and_legacy_frames_are_stable() {
+        // A standard recording's meta frame must not mention the profile
+        // at all (older files are byte-identical), and frames written
+        // before profiles existed must parse as standard.
+        let meta =
+            RecordMeta { secs: 1, apps: 1, seed: 3, segment_ms: 250, profile: WorldProfile::Standard };
+        assert!(!meta.to_json().contains("profile"), "{}", meta.to_json());
+        let legacy = r#"{"secs":1,"apps":1,"seed":3,"segment_ms":250}"#;
+        assert_eq!(RecordMeta::from_json(legacy), Some(meta));
+
+        let mt = RecordMeta { profile: WorldProfile::MultiThreaded, ..meta };
+        assert!(mt.to_json().contains("multi-threaded"), "{}", mt.to_json());
+        assert_eq!(RecordMeta::from_json(&mt.to_json()), Some(mt));
+    }
+
+    #[test]
+    fn profiled_worlds_record_and_replay_byte_identically() {
+        let dir = std::env::temp_dir()
+            .join(format!("rtms-bench-profiled-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for (i, profile) in
+            [WorldProfile::MultiThreaded, WorldProfile::Lossy, WorldProfile::Bursty]
+                .into_iter()
+                .enumerate()
+        {
+            let path = dir.join(format!("p{i}.seg"));
+            let meta = RecordMeta { secs: 1, apps: 1, seed: 41 + i as u64, segment_ms: 250, profile };
+            record_to_file(&path, meta).expect("record");
+            let outcome = replay_path(&path).expect("replay");
+            assert_eq!(outcome.meta, Some(meta));
+            assert_eq!(
+                serde_json::to_string(&outcome.model).expect("ser"),
+                serde_json::to_string(&live_model(meta)).expect("ser"),
+                "{profile:?}: replayed model must be byte-identical to the live one"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -134,7 +233,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("mkdir");
         let path = dir.join("run.seg");
-        let meta = RecordMeta { secs: 1, apps: 1, seed: 3, segment_ms: 250 };
+        let meta =
+            RecordMeta { secs: 1, apps: 1, seed: 3, segment_ms: 250, profile: WorldProfile::Standard };
         let stats = record_to_file(&path, meta).expect("record");
         assert!(stats.segments > 0);
         assert!(stats.events > 0);

@@ -71,17 +71,31 @@ pub enum AlertKind {
         /// The configured threshold.
         threshold: f64,
     },
+    /// A subscriber received far fewer messages in the window than its
+    /// baseline arrival rate predicts (a lossy link, a flaky radio, a
+    /// saturated best-effort writer).
+    MessageLoss {
+        /// Merge key of the starving subscriber vertex.
+        key: String,
+        /// Instances observed in the window.
+        observed: u64,
+        /// Instances the baseline period predicts for the window.
+        expected: u64,
+        /// The fraction of `expected` below which the alert fires.
+        threshold: f64,
+    },
 }
 
 impl AlertKind {
     /// A short machine-friendly name of the kind (`exec_drift`,
-    /// `period_drift`, `topology_change`, `load_spike`).
+    /// `period_drift`, `topology_change`, `load_spike`, `message_loss`).
     pub fn name(&self) -> &'static str {
         match self {
             AlertKind::ExecDrift { .. } => "exec_drift",
             AlertKind::PeriodDrift { .. } => "period_drift",
             AlertKind::TopologyChange { .. } => "topology_change",
             AlertKind::LoadSpike { .. } => "load_spike",
+            AlertKind::MessageLoss { .. } => "message_loss",
         }
     }
 }
@@ -135,6 +149,11 @@ impl fmt::Display for Alert {
                 "load spike on {node}: {:.0}% (threshold {:.0}%)",
                 load * 100.0,
                 threshold * 100.0
+            ),
+            AlertKind::MessageLoss { key, observed, expected, .. } => write!(
+                f,
+                "message loss on {key}: {observed} instances where the baseline rate \
+                 predicts {expected}"
             ),
         }
     }

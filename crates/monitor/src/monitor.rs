@@ -41,6 +41,16 @@ pub struct MonitorConfig {
     /// Per-node processor load (fraction of one core) above which a
     /// [`AlertKind::LoadSpike`] is raised.
     pub load_threshold: f64,
+    /// A subscriber observing fewer than `loss_threshold` times the
+    /// instances its baseline arrival rate predicts for the window raises
+    /// [`AlertKind::MessageLoss`]. Kept below 0.5 so a merely *stuttering*
+    /// upstream (periods stretched 2x, handled by period supervision)
+    /// does not double-report as loss.
+    pub loss_threshold: f64,
+    /// Windows where the baseline rate predicts fewer subscriber
+    /// instances than this are not judged for message loss (too few
+    /// arrivals for a rate to be evidence).
+    pub min_expected_messages: u64,
     /// Number of *consecutive* windows an element must be missing before a
     /// [`AlertKind::TopologyChange`] reports it. Guards against a callback
     /// instance straddling a window boundary; appearing elements are
@@ -60,6 +70,8 @@ impl Default for MonitorConfig {
             period_slack: Nanos::from_millis(5),
             min_baseline_periods: 5,
             load_threshold: 0.85,
+            loss_threshold: 0.45,
+            min_expected_messages: 6,
             missing_persistence: 2,
         }
     }
@@ -151,6 +163,7 @@ impl Monitor {
             });
         }
         self.timing_drift(snapshot, segment, &mut alerts);
+        self.message_loss(snapshot, window, segment, &mut alerts);
         self.load_spikes(snapshot, window, segment, &mut alerts);
 
         alerts.sort_by_key(|a| std::cmp::Reverse(a.severity));
@@ -262,6 +275,63 @@ impl Monitor {
                         });
                     }
                 }
+            }
+        }
+    }
+
+    /// Subscriber arrival-rate supervision: a subscriber delivering far
+    /// fewer instances than its baseline period predicts for the window is
+    /// losing messages in transport (best-effort drops, a flaky link). A
+    /// subscriber that vanishes *entirely* is handled by the topology
+    /// path instead — rate supervision needs a vertex to judge.
+    fn message_loss(
+        &self,
+        snapshot: &Dag,
+        window: Nanos,
+        segment: u64,
+        alerts: &mut Vec<Alert>,
+    ) {
+        let c = &self.config;
+        if window == Nanos::ZERO {
+            return;
+        }
+        for v in snapshot.vertices() {
+            if v.kind != VertexKind::Callback(rtms_trace::CallbackKind::Subscriber) {
+                continue;
+            }
+            let key = v.merge_key();
+            let Some(env) = self.baseline.envelope(&key) else { continue };
+            if env.period_samples < c.min_baseline_periods {
+                continue;
+            }
+            let Some(pm) = env.period_mean else { continue };
+            if pm == Nanos::ZERO {
+                continue;
+            }
+            let expected = window.as_nanos() / pm.as_nanos();
+            if expected < c.min_expected_messages {
+                continue;
+            }
+            let observed = v.stats.count();
+            let bound = expected as f64 * c.loss_threshold;
+            if (observed as f64) < bound {
+                // Less than half the loss bound is an unambiguous outage;
+                // a rate merely below the bound warns.
+                let severity = if (observed as f64) < bound / 2.0 {
+                    Severity::Critical
+                } else {
+                    Severity::Warning
+                };
+                alerts.push(Alert {
+                    segment,
+                    severity,
+                    kind: AlertKind::MessageLoss {
+                        key: key.clone(),
+                        observed,
+                        expected,
+                        threshold: c.loss_threshold,
+                    },
+                });
             }
         }
     }
@@ -517,6 +587,56 @@ mod tests {
                 AlertKind::LoadSpike { node, load, .. } if node == "n3" && *load > 0.85
             )),
             "{alerts:?}"
+        );
+    }
+
+    #[test]
+    fn message_loss_detected_on_starving_subscriber() {
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)));
+        // The subscriber sees 3 of the ~10 instances the baseline rate
+        // predicts for the window; the timer side stays healthy.
+        let lossy = dag(vec![
+            (1, vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], 1.0, 6, 100)]),
+            (2, vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], 2.0, 3, 100)]),
+        ]);
+        let alerts = m.observe(&lossy, WINDOW);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].severity, Severity::Warning);
+        match &alerts[0].kind {
+            AlertKind::MessageLoss { key, observed, expected, .. } => {
+                assert_eq!(key, "n2|subscriber|/a");
+                assert_eq!(*observed, 3);
+                assert_eq!(*expected, 10);
+            }
+            other => panic!("expected message loss, got {other:?}"),
+        }
+        // Near-total loss escalates to critical.
+        let dead = dag(vec![
+            (1, vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], 1.0, 6, 100)]),
+            (2, vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], 2.0, 1, 100)]),
+        ]);
+        let alerts = m.observe(&dead, WINDOW);
+        let loss = alerts
+            .iter()
+            .find(|a| a.kind.name() == "message_loss")
+            .expect("message loss fires");
+        assert_eq!(loss.severity, Severity::Critical);
+    }
+
+    #[test]
+    fn halved_rate_is_not_message_loss() {
+        // 5 of 10 expected instances is a stuttering upstream (period
+        // supervision's job), not transport loss — the 0.45 threshold
+        // keeps the two alert classes disjoint.
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)));
+        let halved = dag(vec![
+            (1, vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], 1.0, 6, 100)]),
+            (2, vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], 2.0, 5, 100)]),
+        ]);
+        let alerts = m.observe(&halved, WINDOW);
+        assert!(
+            alerts.iter().all(|a| a.kind.name() != "message_loss"),
+            "halved rate must not read as loss: {alerts:?}"
         );
     }
 

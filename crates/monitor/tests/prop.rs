@@ -4,8 +4,8 @@
 //!    through the full streaming pipeline (trace segments → per-window
 //!    synthesis → monitor) raise *zero* alerts.
 //! 2. **Detection**: injected faults (slowdown / timer stutter / muted
-//!    publisher) are detected with the correct alert kind within two
-//!    segments of activation.
+//!    publisher / message drop) are detected with the correct alert kind
+//!    within two segments of activation.
 
 use rtms_monitor::Alert;
 use rtms_ros2::{FaultPlan, WorldBuilder};
@@ -49,7 +49,7 @@ fn no_false_positives_across_100_fault_free_apps() {
 fn injected_faults_detected_within_two_segments() {
     let baseline_end = Nanos::from_nanos(SEGMENT.as_nanos() * BASELINE_SEGMENTS as u64);
     let window = (baseline_end, baseline_end + Nanos::from_millis(100));
-    let mut seen_kinds = [false; 3];
+    let mut seen_kinds = [false; 4];
     for seed in 0..12u64 {
         let scenario = generate_fault_scenario(seed, &FaultScenarioConfig::new(2, window));
         let world = WorldBuilder::new(4)
@@ -78,12 +78,13 @@ fn injected_faults_detected_within_two_segments() {
                 ExpectedAlert::ExecDrift => 0,
                 ExpectedAlert::PeriodDrift => 1,
                 ExpectedAlert::TopologyChange => 2,
+                ExpectedAlert::MessageLoss => 3,
             }] = true;
         }
     }
     assert!(
         seen_kinds.iter().all(|&k| k),
-        "suite must exercise all three fault kinds, saw {seen_kinds:?}"
+        "suite must exercise all four fault kinds, saw {seen_kinds:?}"
     );
 }
 

@@ -112,21 +112,49 @@ pub struct SyncGroupSpec {
     pub outputs: Vec<String>,
 }
 
-/// One ROS2 node: a set of callbacks dispatched by a single-threaded
-/// executor.
+/// Dispatch policy of a callback group (rclcpp's two kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKind {
+    /// At most one member instance runs at a time, even on a
+    /// multi-threaded executor (the rclcpp default).
+    MutuallyExclusive,
+    /// Member instances may run concurrently on different worker threads.
+    Reentrant,
+}
+
+/// A callback group within a node: the unit of concurrency control a
+/// multi-threaded executor respects. Callbacks not assigned to any group
+/// belong to the node's implicit mutually-exclusive default group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallbackGroupSpec {
+    /// Group name.
+    pub name: String,
+    /// Dispatch policy.
+    pub kind: GroupKind,
+    /// Names of member callbacks (same node, each in at most one group).
+    pub members: Vec<String>,
+}
+
+/// One ROS2 node: a set of callbacks dispatched by an executor with one
+/// or more worker threads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// Node name (unique within the app).
     pub name: String,
-    /// Scheduling priority of the executor thread.
+    /// Scheduling priority of the executor thread(s).
     pub priority: Priority,
-    /// CPU affinity of the executor thread.
+    /// CPU affinity of the executor thread(s).
     pub affinity: Affinity,
+    /// Worker threads of the node's executor (1 = the classic
+    /// single-threaded executor).
+    pub workers: usize,
     /// The node's callbacks, in registration order (the executor polls
     /// them in this order).
     pub callbacks: Vec<CallbackSpec>,
     /// Data synchronizers within this node.
     pub sync_groups: Vec<SyncGroupSpec>,
+    /// Callback groups constraining multi-threaded dispatch.
+    pub groups: Vec<CallbackGroupSpec>,
 }
 
 /// A validated application description.
@@ -165,6 +193,20 @@ pub enum AppError {
         /// The service name.
         service: String,
     },
+    /// A callback group member is not a callback of the node.
+    BadGroupMember {
+        /// The callback group.
+        group: String,
+        /// The offending member name.
+        member: String,
+    },
+    /// A callback is assigned to more than one callback group.
+    DuplicateGroupMember(String),
+    /// A node's executor was given zero worker threads.
+    BadWorkerCount {
+        /// The node.
+        node: String,
+    },
     /// The app has no nodes.
     Empty,
 }
@@ -181,6 +223,15 @@ impl fmt::Display for AppError {
             }
             AppError::UnservedService { client, service } => {
                 write!(f, "client {client:?} calls service {service:?} which no node serves")
+            }
+            AppError::BadGroupMember { group, member } => {
+                write!(f, "callback group {group:?} member {member:?} is not a callback of the node")
+            }
+            AppError::DuplicateGroupMember(m) => {
+                write!(f, "callback {m:?} is assigned to more than one callback group")
+            }
+            AppError::BadWorkerCount { node } => {
+                write!(f, "node {node:?} has an executor with zero workers")
             }
             AppError::Empty => write!(f, "application has no nodes"),
         }
@@ -259,14 +310,17 @@ impl AppBuilder {
         AppBuilder { name: name.into(), nodes: Vec::new() }
     }
 
-    /// Adds a node with default priority and full affinity.
+    /// Adds a node with default priority, full affinity, and a
+    /// single-threaded executor.
     pub fn node(&mut self, name: impl Into<String>) -> NodeId {
         self.nodes.push(NodeSpec {
             name: name.into(),
             priority: Priority::NORMAL,
             affinity: Affinity::all(),
+            workers: 1,
             callbacks: Vec::new(),
             sync_groups: Vec::new(),
+            groups: Vec::new(),
         });
         NodeId(self.nodes.len() - 1)
     }
@@ -279,6 +333,35 @@ impl AppBuilder {
     /// Sets the executor thread affinity of a node.
     pub fn set_affinity(&mut self, node: NodeId, affinity: Affinity) {
         self.nodes[node.0].affinity = affinity;
+    }
+
+    /// Gives the node a multi-threaded executor with `workers` threads.
+    /// Concurrency is still constrained by callback groups: callbacks not
+    /// assigned to a [`GroupKind::Reentrant`] group keep serializing with
+    /// the other members of their (possibly implicit) mutually-exclusive
+    /// group.
+    pub fn multi_threaded(&mut self, node: NodeId, workers: usize) {
+        self.nodes[node.0].workers = workers;
+    }
+
+    /// Declares a callback group over callbacks of `node` (see
+    /// [`GroupKind`]). Each callback may belong to at most one group;
+    /// unassigned callbacks share the node's implicit mutually-exclusive
+    /// default group.
+    pub fn callback_group<M>(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        kind: GroupKind,
+        members: impl IntoIterator<Item = M>,
+    ) where
+        M: Into<String>,
+    {
+        self.nodes[node.0].groups.push(CallbackGroupSpec {
+            name: name.into(),
+            kind,
+            members: members.into_iter().map(Into::into).collect(),
+        });
     }
 
     /// Adds a timer callback.
@@ -458,6 +541,23 @@ impl AppBuilder {
                     }
                 }
             }
+            if n.workers == 0 {
+                return Err(AppError::BadWorkerCount { node: n.name.clone() });
+            }
+            let mut grouped = std::collections::HashSet::new();
+            for g in &n.groups {
+                for m in &g.members {
+                    if !n.callbacks.iter().any(|cb| cb.name() == m) {
+                        return Err(AppError::BadGroupMember {
+                            group: g.name.clone(),
+                            member: m.clone(),
+                        });
+                    }
+                    if !grouped.insert(m.clone()) {
+                        return Err(AppError::DuplicateGroupMember(m.clone()));
+                    }
+                }
+            }
         }
         Ok(AppSpec { name: self.name, nodes: self.nodes })
     }
@@ -559,5 +659,52 @@ mod tests {
     fn error_display() {
         let e = AppError::UnknownClient { callback: "T".into(), client: "C".into() };
         assert!(e.to_string().contains("unknown client"));
+        let e = AppError::BadGroupMember { group: "G".into(), member: "M".into() };
+        assert!(e.to_string().contains("\"M\""));
+        assert!(AppError::DuplicateGroupMember("X".into()).to_string().contains("\"X\""));
+        assert!(AppError::BadWorkerCount { node: "n".into() }.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn valid_callback_groups() {
+        let mut app = AppBuilder::new("a");
+        let n = app.node("n");
+        app.multi_threaded(n, 3);
+        app.timer(n, "T1", Nanos::from_millis(10), w()).publishes("/t");
+        app.timer(n, "T2", Nanos::from_millis(15), w());
+        app.subscriber(n, "S1", "/t", w());
+        app.callback_group(n, "re", GroupKind::Reentrant, ["T1", "T2"]);
+        app.callback_group(n, "me", GroupKind::MutuallyExclusive, ["S1"]);
+        let spec = app.build().expect("valid");
+        assert_eq!(spec.nodes[0].workers, 3);
+        assert_eq!(spec.nodes[0].groups.len(), 2);
+    }
+
+    #[test]
+    fn group_member_must_exist() {
+        let mut app = AppBuilder::new("a");
+        let n = app.node("n");
+        app.timer(n, "T", Nanos::from_millis(10), w());
+        app.callback_group(n, "G", GroupKind::Reentrant, ["ghost"]);
+        assert!(matches!(app.build().unwrap_err(), AppError::BadGroupMember { .. }));
+    }
+
+    #[test]
+    fn group_membership_is_exclusive() {
+        let mut app = AppBuilder::new("a");
+        let n = app.node("n");
+        app.timer(n, "T", Nanos::from_millis(10), w());
+        app.callback_group(n, "G1", GroupKind::Reentrant, ["T"]);
+        app.callback_group(n, "G2", GroupKind::MutuallyExclusive, ["T"]);
+        assert_eq!(app.build().unwrap_err(), AppError::DuplicateGroupMember("T".into()));
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let mut app = AppBuilder::new("a");
+        let n = app.node("n");
+        app.multi_threaded(n, 0);
+        app.timer(n, "T", Nanos::from_millis(10), w());
+        assert_eq!(app.build().unwrap_err(), AppError::BadWorkerCount { node: "n".into() });
     }
 }

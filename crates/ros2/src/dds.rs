@@ -6,9 +6,66 @@
 //! transport latency. Service request/response routing rides on the same
 //! mechanism, exactly as in ROS2 (Sec. II-A: "services are implemented
 //! using topics").
+//!
+//! # QoS
+//!
+//! A [`QosSpec`] degrades delivery on *plain* topics (service traffic is
+//! always reliable, matching the rclcpp default):
+//!
+//! - **best-effort drops** — each delivered copy is independently lost
+//!   with `drop_prob` (only meaningful on a best-effort spec, i.e. with
+//!   `reorder_bound >= 1`; the world builder rejects the no-op combination
+//!   of a drop probability on a reliable spec);
+//! - **bounded reorder** — a sample may be overtaken by at most
+//!   `reorder_bound` samples written after it (per reader queue);
+//! - **latency jitter** — each copy's arrival is delayed by an extra
+//!   uniform amount in `[0, jitter]`.
+//!
+//! All QoS decisions come from the domain's own seeded RNG, so a seeded
+//! world stays byte-for-byte deterministic, and a reliable spec (the
+//! default) draws nothing at all — bit-identical to a QoS-less domain.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rtms_trace::{CallbackId, Nanos, Pid, SourceTimestamp, Topic};
 use std::collections::VecDeque;
+
+/// Quality-of-service knobs of a DDS domain, applied to plain topics.
+///
+/// The default spec is *reliable*: no drops, strict per-reader FIFO, no
+/// jitter — byte-identical behaviour to a domain without QoS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosSpec {
+    /// Probability that a delivered copy is lost (best-effort delivery).
+    /// Drawn independently per `(write, reader)` pair. Only applied when
+    /// `reorder_bound >= 1` marks the spec best-effort; the world builder
+    /// rejects a drop probability on a reliable (bound 0) spec as a
+    /// confusing no-op.
+    pub drop_prob: f64,
+    /// How many samples written *after* a sample may be delivered before
+    /// it, per reader queue. `0` is strict FIFO (reliable ordering).
+    pub reorder_bound: usize,
+    /// Extra delivery latency, uniform in `[0, jitter]`, drawn per copy.
+    pub jitter: Nanos,
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        QosSpec::reliable()
+    }
+}
+
+impl QosSpec {
+    /// The reliable spec: no drops, strict FIFO, no jitter.
+    pub fn reliable() -> QosSpec {
+        QosSpec { drop_prob: 0.0, reorder_bound: 0, jitter: Nanos::ZERO }
+    }
+
+    /// Whether this spec degrades nothing (the default).
+    pub fn is_reliable(&self) -> bool {
+        self.drop_prob == 0.0 && self.reorder_bound == 0 && self.jitter == Nanos::ZERO
+    }
+}
 
 /// A sample sitting in (or delivered from) a reader queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,14 +86,24 @@ pub struct Sample {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReaderId(usize);
 
+/// A queued sample with its delivery rank: `rank = write seq + offset`
+/// with `offset in [0, reorder_bound]`, so ordering by `(rank, seq)`
+/// structurally bounds how many newer samples can overtake an older one.
+#[derive(Debug)]
+struct QueuedSample {
+    rank: u64,
+    sample: Sample,
+}
+
 #[derive(Debug)]
 struct Reader {
     pid: Pid,
     topic: Topic,
-    queue: VecDeque<Sample>,
+    queue: VecDeque<QueuedSample>,
 }
 
-/// The DDS domain: topic-based sample routing with delivery latency.
+/// The DDS domain: topic-based sample routing with delivery latency and
+/// optional QoS degradation (see [`QosSpec`]).
 ///
 /// # Example
 ///
@@ -56,19 +123,39 @@ struct Reader {
 #[derive(Debug)]
 pub struct DdsDomain {
     latency: Nanos,
+    qos: QosSpec,
+    rng: StdRng,
     readers: Vec<Reader>,
     next_src_ts: u64,
 }
 
 impl DdsDomain {
-    /// Creates a domain with a fixed transport latency.
+    /// Creates a domain with a fixed transport latency and reliable QoS.
     pub fn new(latency: Nanos) -> Self {
-        DdsDomain { latency, readers: Vec::new(), next_src_ts: 1 }
+        DdsDomain::with_qos(latency, QosSpec::reliable(), 0)
+    }
+
+    /// Creates a domain with a QoS spec and a seed for its (private)
+    /// drop/reorder/jitter RNG. A reliable spec never draws from the RNG,
+    /// so the seed is then irrelevant.
+    pub fn with_qos(latency: Nanos, qos: QosSpec, seed: u64) -> Self {
+        DdsDomain {
+            latency,
+            qos,
+            rng: StdRng::seed_from_u64(seed),
+            readers: Vec::new(),
+            next_src_ts: 1,
+        }
     }
 
     /// The configured transport latency.
     pub fn latency(&self) -> Nanos {
         self.latency
+    }
+
+    /// The configured QoS spec.
+    pub fn qos(&self) -> QosSpec {
+        self.qos
     }
 
     /// Registers a reader of `topic` owned by the executor thread `pid`.
@@ -87,44 +174,90 @@ impl DdsDomain {
         topic: Topic,
         rpc_target: Option<(Pid, CallbackId)>,
     ) -> (SourceTimestamp, Vec<(Pid, Nanos)>) {
+        self.write_lossy(now, topic, rpc_target, 0.0)
+    }
+
+    /// Like [`DdsDomain::write`], with an additional per-copy drop
+    /// probability stacked on top of the QoS drop probability — the hook a
+    /// [`crate::FaultKind::MessageDrop`] fault injects through. The extra
+    /// probability applies even on a reliable spec: an injected transport
+    /// fault is precisely a *violation* of the configured reliability.
+    pub fn write_lossy(
+        &mut self,
+        now: Nanos,
+        topic: Topic,
+        rpc_target: Option<(Pid, CallbackId)>,
+        extra_drop: f64,
+    ) -> (SourceTimestamp, Vec<(Pid, Nanos)>) {
         let src_ts = SourceTimestamp::new(self.next_src_ts);
+        let seq = self.next_src_ts;
         self.next_src_ts += 1;
-        let arrival = now + self.latency;
+        let base_arrival = now + self.latency;
+        // QoS degrades plain topics only; service traffic stays reliable.
+        let plain = !topic.is_service_request() && !topic.is_service_response();
+        let best_effort = plain && self.qos.reorder_bound >= 1;
         let mut wakes = Vec::new();
         for reader in &mut self.readers {
-            if reader.topic == topic {
-                reader.queue.push_back(Sample {
-                    topic: topic.clone(),
-                    src_ts,
-                    arrival,
-                    rpc_target,
-                });
-                wakes.push((reader.pid, arrival));
+            if reader.topic != topic {
+                continue;
             }
+            let mut drop_prob = extra_drop;
+            if best_effort && self.qos.drop_prob > 0.0 {
+                drop_prob = 1.0 - (1.0 - drop_prob) * (1.0 - self.qos.drop_prob);
+            }
+            if drop_prob > 0.0 && self.rng.gen_bool(drop_prob) {
+                continue; // copy lost in transport: no sample, no wake
+            }
+            let mut arrival = base_arrival;
+            if plain && self.qos.jitter > Nanos::ZERO {
+                arrival += Nanos::from_nanos(self.rng.gen_range(0..=self.qos.jitter.as_nanos()));
+            }
+            let rank = if best_effort {
+                seq + self.rng.gen_range(0..=self.qos.reorder_bound as u64)
+            } else {
+                seq
+            };
+            // Insert sorted by (rank, seq); seq strictly increases, so
+            // scanning ranks from the back keeps the order stable.
+            let q = &mut reader.queue;
+            let mut at = q.len();
+            while at > 0 && q[at - 1].rank > rank {
+                at -= 1;
+            }
+            q.insert(
+                at,
+                QueuedSample {
+                    rank,
+                    sample: Sample { topic: topic.clone(), src_ts, arrival, rpc_target },
+                },
+            );
+            wakes.push((reader.pid, arrival));
         }
         (src_ts, wakes)
     }
 
-    /// Pops the oldest sample of `reader` that has arrived by `now`.
+    /// Pops the front sample of `reader` if it has arrived by `now`.
+    /// Delivery follows queue order (post-reorder), each sample gated by
+    /// its own arrival time.
     pub fn pop_due(&mut self, reader: ReaderId, now: Nanos) -> Option<Sample> {
         let r = &mut self.readers[reader.0];
         match r.queue.front() {
-            Some(front) if front.arrival <= now => r.queue.pop_front(),
+            Some(front) if front.sample.arrival <= now => r.queue.pop_front().map(|q| q.sample),
             _ => None,
         }
     }
 
-    /// Whether `reader` has a sample that has arrived by `now`.
+    /// Whether `reader`'s front sample has arrived by `now`.
     pub fn has_due(&self, reader: ReaderId, now: Nanos) -> bool {
         self.readers[reader.0]
             .queue
             .front()
-            .is_some_and(|s| s.arrival <= now)
+            .is_some_and(|s| s.sample.arrival <= now)
     }
 
-    /// Earliest future arrival among `reader`'s queued samples, if any.
+    /// Arrival time of `reader`'s front sample, if any.
     pub fn next_arrival(&self, reader: ReaderId) -> Option<Nanos> {
-        self.readers[reader.0].queue.front().map(|s| s.arrival)
+        self.readers[reader.0].queue.front().map(|s| s.sample.arrival)
     }
 
     /// Current depth of a reader queue (including undelivered samples).
@@ -207,5 +340,119 @@ mod tests {
         );
         let s = dds.pop_due(r, Nanos::from_secs(1)).expect("delivered");
         assert_eq!(s.rpc_target, Some((Pid::new(42), CallbackId::new(7))));
+    }
+
+    #[test]
+    fn reliable_spec_is_default_and_detectable() {
+        assert!(QosSpec::default().is_reliable());
+        assert!(QosSpec::reliable().is_reliable());
+        assert!(!QosSpec { drop_prob: 0.5, reorder_bound: 2, jitter: Nanos::ZERO }.is_reliable());
+        assert_eq!(domain().qos(), QosSpec::reliable());
+    }
+
+    #[test]
+    fn best_effort_drops_some_copies() {
+        let qos = QosSpec { drop_prob: 0.5, reorder_bound: 1, jitter: Nanos::ZERO };
+        let mut dds = DdsDomain::with_qos(Nanos::from_micros(100), qos, 7);
+        let r = dds.create_reader(Pid::new(1), Topic::plain("/t"));
+        let mut delivered = 0;
+        for i in 0..200 {
+            dds.write(Nanos::from_micros(i), Topic::plain("/t"), None);
+        }
+        while dds.pop_due(r, Nanos::from_secs(1)).is_some() {
+            delivered += 1;
+        }
+        assert!(delivered > 50 && delivered < 150, "delivered {delivered} of 200");
+    }
+
+    #[test]
+    fn drops_do_not_touch_service_traffic() {
+        let qos = QosSpec { drop_prob: 1.0, reorder_bound: 4, jitter: Nanos::from_millis(1) };
+        let mut dds = DdsDomain::with_qos(Nanos::from_micros(100), qos, 3);
+        let rq = dds.create_reader(Pid::new(1), Topic::service_request("/sv"));
+        let rs = dds.create_reader(Pid::new(2), Topic::service_response("/sv"));
+        for i in 0..10 {
+            dds.write(Nanos::from_micros(i), Topic::service_request("/sv"), None);
+            dds.write(Nanos::from_micros(i), Topic::service_response("/sv"), None);
+        }
+        assert_eq!(dds.queue_depth(rq), 10, "requests are reliable");
+        assert_eq!(dds.queue_depth(rs), 10, "responses are reliable");
+        // Service arrivals carry no jitter either.
+        assert_eq!(dds.next_arrival(rq), Some(Nanos::from_micros(100)));
+    }
+
+    #[test]
+    fn extra_drop_applies_on_reliable_spec() {
+        let mut dds = domain();
+        let r = dds.create_reader(Pid::new(1), Topic::plain("/t"));
+        for i in 0..100 {
+            dds.write_lossy(Nanos::from_micros(i), Topic::plain("/t"), None, 0.7);
+        }
+        let depth = dds.queue_depth(r);
+        assert!(depth < 70, "fault drops must thin the queue: {depth} of 100 kept");
+        assert!(depth > 0, "some copies should survive");
+    }
+
+    #[test]
+    fn reorder_respects_bound() {
+        let bound = 3usize;
+        let qos = QosSpec { drop_prob: 0.0, reorder_bound: bound, jitter: Nanos::ZERO };
+        let mut dds = DdsDomain::with_qos(Nanos::from_micros(1), qos, 11);
+        let r = dds.create_reader(Pid::new(1), Topic::plain("/t"));
+        let mut written = Vec::new();
+        for i in 0..500 {
+            let (ts, _) = dds.write(Nanos::from_nanos(i), Topic::plain("/t"), None);
+            written.push(ts);
+        }
+        let mut delivered = Vec::new();
+        while let Some(s) = dds.pop_due(r, Nanos::from_secs(1)) {
+            delivered.push(s.src_ts);
+        }
+        assert_eq!(delivered.len(), written.len());
+        let mut reordered = 0usize;
+        for (i, ts) in delivered.iter().enumerate() {
+            let overtakers =
+                delivered[..i].iter().filter(|earlier| *earlier > ts).count();
+            assert!(overtakers <= bound, "sample overtaken by {overtakers} > bound {bound}");
+            if overtakers > 0 {
+                reordered += 1;
+            }
+        }
+        assert!(reordered > 0, "a 500-sample run should reorder something");
+    }
+
+    #[test]
+    fn jitter_delays_but_preserves_queue_order_gating() {
+        let qos =
+            QosSpec { drop_prob: 0.0, reorder_bound: 0, jitter: Nanos::from_micros(50) };
+        let mut dds = DdsDomain::with_qos(Nanos::from_micros(100), qos, 5);
+        let r = dds.create_reader(Pid::new(1), Topic::plain("/t"));
+        let (_, wakes) = dds.write(Nanos::ZERO, Topic::plain("/t"), None);
+        let arrival = wakes[0].1;
+        assert!(arrival >= Nanos::from_micros(100) && arrival <= Nanos::from_micros(150));
+        assert!(!dds.has_due(r, Nanos::from_micros(99)));
+        assert!(dds.has_due(r, arrival));
+    }
+
+    #[test]
+    fn seeded_qos_is_deterministic() {
+        let qos = QosSpec {
+            drop_prob: 0.3,
+            reorder_bound: 2,
+            jitter: Nanos::from_micros(20),
+        };
+        let run = || {
+            let mut dds = DdsDomain::with_qos(Nanos::from_micros(100), qos, 42);
+            let r = dds.create_reader(Pid::new(1), Topic::plain("/t"));
+            for i in 0..100 {
+                dds.write(Nanos::from_micros(i), Topic::plain("/t"), None);
+            }
+            let mut out = Vec::new();
+            while let Some(s) = dds.pop_due(r, Nanos::from_secs(1)) {
+                out.push((s.src_ts, s.arrival));
+            }
+            out
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -1,10 +1,23 @@
-//! The single-threaded node executor.
+//! Node executors: single- and multi-threaded callback dispatch.
 //!
-//! One executor thread per node dispatches all of the node's callbacks,
-//! one at a time from start to end (the paper's system model, Sec. II-A).
-//! The executor is a [`ThreadLogic`]: the kernel simulator calls
-//! [`NodeExecutor::next_op`] whenever the thread needs work, and the
-//! executor reports every traced middleware function to the attached
+//! A node's callbacks and synchronizers live in one shared `ExecCore`;
+//! each executor worker thread is a [`NodeExecutor`] — a [`ThreadLogic`]
+//! the kernel simulator polls via [`NodeExecutor::next_op`] — dispatching
+//! callbacks from the core one at a time from start to end (the paper's
+//! system model, Sec. II-A). A single-threaded executor is the one-worker
+//! special case.
+//!
+//! Multi-threaded dispatch honours callback groups the way rclcpp does:
+//! every mutually-exclusive group (including the node's implicit default
+//! group) is *pinned* to one worker rank, which serializes its members
+//! structurally; reentrant groups are claimable by any worker, so their
+//! callback instances genuinely overlap in trace time. Pinning also makes
+//! the differential oracle exact: when every callback belongs to a
+//! mutually-exclusive group, the extra workers never claim work, never
+//! emit runtime events, and the synthesized model is byte-identical to
+//! the single-threaded executor's.
+//!
+//! The executor reports every traced middleware function to the attached
 //! tracers at the exact simulated instants the real functions would run.
 
 use crate::dds::ReaderId;
@@ -26,6 +39,9 @@ pub(crate) struct CbRuntime {
     pub(crate) outputs: Vec<ResolvedOutput>,
     pub(crate) detail: CbDetail,
     pub(crate) faults: CbFaults,
+    /// Index into [`ExecCore::owner`]: 0 is the node's implicit
+    /// mutually-exclusive default group, declared groups follow.
+    pub(crate) group: usize,
 }
 
 #[derive(Debug)]
@@ -64,7 +80,25 @@ pub(crate) struct SyncRuntime {
     pub(crate) outputs: Vec<Topic>,
 }
 
-/// The callback instance currently occupying the executor thread.
+/// The per-node state shared by all of the node's executor workers.
+#[derive(Debug)]
+pub(crate) struct ExecCore {
+    pub(crate) cbs: Vec<CbRuntime>,
+    pub(crate) syncs: Vec<SyncRuntime>,
+    /// Per callback group: the worker rank its mutually-exclusive
+    /// dispatch is pinned to, or `None` for a reentrant group any worker
+    /// may serve. Index 0 is the implicit default group.
+    pub(crate) owner: Vec<Option<usize>>,
+}
+
+impl ExecCore {
+    /// Whether the worker at `rank` may dispatch callback `cb`.
+    fn claims(&self, rank: usize, cb: usize) -> bool {
+        self.owner[self.cbs[cb].group].unwrap_or(rank) == rank
+    }
+}
+
+/// The callback instance currently occupying an executor worker.
 #[derive(Debug)]
 struct Current {
     cb: usize,
@@ -74,59 +108,66 @@ struct Current {
     requester: Option<(Pid, CallbackId)>,
 }
 
-/// A node's single-threaded executor.
+/// One executor worker thread of a node.
 pub struct NodeExecutor {
     world: Rc<RefCell<WorldState>>,
-    cbs: Vec<CbRuntime>,
-    syncs: Vec<SyncRuntime>,
+    core: Rc<RefCell<ExecCore>>,
+    rank: usize,
     current: Option<Current>,
 }
 
 impl NodeExecutor {
     pub(crate) fn new(
         world: Rc<RefCell<WorldState>>,
-        cbs: Vec<CbRuntime>,
-        syncs: Vec<SyncRuntime>,
+        core: Rc<RefCell<ExecCore>>,
+        rank: usize,
     ) -> Self {
-        NodeExecutor { world, cbs, syncs, current: None }
+        NodeExecutor { world, core, rank, current: None }
     }
 
     /// Finishes the instance whose compute just completed: performs its
     /// output actions (publishes, service calls, the automatic service
     /// response, synchronizer output) and emits the callback-end event.
     fn finish(&mut self, ctx: &mut SimCtx<'_>, cur: Current) {
+        let core_rc = Rc::clone(&self.core);
+        let mut core = core_rc.borrow_mut();
+        let core = &mut *core;
         let now = ctx.now();
         let pid = ctx.self_pid();
         let mut wakes: Vec<(Pid, Nanos)> = Vec::new();
 
         // Synchronizer bookkeeping: mark this member's slot; if the set is
         // complete, this (last-arriving) instance publishes the output.
-        if let CbDetail::Subscriber { sync: Some((group, member)), .. } = self.cbs[cur.cb].detail {
+        if let CbDetail::Subscriber { sync: Some((group, member)), .. } = core.cbs[cur.cb].detail {
             let fire = {
-                let g = &mut self.syncs[group];
+                let g = &mut core.syncs[group];
                 g.filled[member] = true;
                 g.filled.iter().all(|&f| f)
             };
             if fire {
-                let outputs = self.syncs[group].outputs.clone();
+                let outputs = core.syncs[group].outputs.clone();
                 for topic in outputs {
-                    wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, None));
+                    wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, None, 0.0));
                 }
-                let g = &mut self.syncs[group];
+                let g = &mut core.syncs[group];
                 g.filled.iter_mut().for_each(|f| *f = false);
             }
         }
 
-        // Declared outputs. An active MutePublisher fault drops the
-        // topic publications (the callback ran, its data never left).
-        let muted = self.cbs[cur.cb].faults.muted(now);
-        for out in self.cbs[cur.cb].outputs.clone() {
+        // Declared outputs. An active MutePublisher fault drops the topic
+        // publications (the callback ran, its data never left); an active
+        // MessageDrop fault loses each published copy with a probability.
+        let muted = core.cbs[cur.cb].faults.muted(now);
+        let extra_drop = core.cbs[cur.cb].faults.drop_prob(now);
+        for out in core.cbs[cur.cb].outputs.clone() {
             match out {
                 ResolvedOutput::Publish(topic) => {
                     if muted {
                         continue;
                     }
-                    wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, None));
+                    wakes.extend(
+                        self.world.borrow_mut().dds_write(now, pid, topic, None, extra_drop),
+                    );
                 }
                 ResolvedOutput::CallService { client_cb, request_topic } => {
                     wakes.extend(self.world.borrow_mut().dds_write(
@@ -134,19 +175,20 @@ impl NodeExecutor {
                         pid,
                         request_topic,
                         Some((pid, client_cb)),
+                        0.0,
                     ));
                 }
             }
         }
 
         // A service responds to its caller.
-        if let CbDetail::Service { response_topic, .. } = &self.cbs[cur.cb].detail {
+        if let CbDetail::Service { response_topic, .. } = &core.cbs[cur.cb].detail {
             let topic = response_topic.clone();
-            wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, cur.requester));
+            wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, cur.requester, 0.0));
         }
 
         // Callback-end probe (P4/P8/P11/P15).
-        let end_args = match self.cbs[cur.cb].detail {
+        let end_args = match core.cbs[cur.cb].detail {
             CbDetail::Timer { .. } => FunctionArgs::ExecuteTimer,
             CbDetail::Subscriber { .. } => FunctionArgs::ExecuteSubscription,
             CbDetail::Service { .. } => FunctionArgs::ExecuteService,
@@ -157,7 +199,7 @@ impl NodeExecutor {
             w.call(FunctionCall::exit(now, pid, end_args));
             w.ground_truth.record(InstanceRecord {
                 pid,
-                callback: self.cbs[cur.cb].id,
+                callback: core.cbs[cur.cb].id,
                 start: cur.start,
                 end: now,
                 issued: cur.issued,
@@ -169,12 +211,12 @@ impl NodeExecutor {
         }
     }
 
-    fn begin_timer(&mut self, ctx: &mut SimCtx<'_>, idx: usize) -> Op {
+    fn begin_timer(&mut self, ctx: &mut SimCtx<'_>, core: &mut ExecCore, idx: usize) -> Op {
         let now = ctx.now();
         let pid = ctx.self_pid();
-        let id = self.cbs[idx].id;
-        let faults = self.cbs[idx].faults;
-        if let CbDetail::Timer { period, next_fire } = &mut self.cbs[idx].detail {
+        let id = core.cbs[idx].id;
+        let faults = core.cbs[idx].faults;
+        if let CbDetail::Timer { period, next_fire } = &mut core.cbs[idx].detail {
             // An active TimerStutter fault stretches the cadence.
             *next_fire += faults.effective_period(now, *period);
         }
@@ -182,17 +224,17 @@ impl NodeExecutor {
             let mut w = self.world.borrow_mut();
             w.call(FunctionCall::entry(now, pid, FunctionArgs::ExecuteTimer));
             w.call(FunctionCall::entry(now, pid, FunctionArgs::RclTimerCall { timer: id }));
-            faults.apply_slowdown(now, self.cbs[idx].work.sample(&mut w.rng))
+            faults.apply_slowdown(now, core.cbs[idx].work.sample(&mut w.rng))
         };
         self.current = Some(Current { cb: idx, start: now, issued: work, requester: None });
         Op::Compute(work)
     }
 
-    fn begin_subscriber(&mut self, ctx: &mut SimCtx<'_>, idx: usize) -> Op {
+    fn begin_subscriber(&mut self, ctx: &mut SimCtx<'_>, core: &mut ExecCore, idx: usize) -> Op {
         let now = ctx.now();
         let pid = ctx.self_pid();
-        let id = self.cbs[idx].id;
-        let (reader, topic, is_sync) = match &self.cbs[idx].detail {
+        let id = core.cbs[idx].id;
+        let (reader, topic, is_sync) = match &core.cbs[idx].detail {
             CbDetail::Subscriber { reader, topic, sync } => {
                 (*reader, topic.clone(), sync.is_some())
             }
@@ -224,17 +266,17 @@ impl NodeExecutor {
             if is_sync {
                 w.call(FunctionCall::entry(now, pid, FunctionArgs::MessageFilterOp));
             }
-            self.cbs[idx].faults.apply_slowdown(now, self.cbs[idx].work.sample(&mut w.rng))
+            core.cbs[idx].faults.apply_slowdown(now, core.cbs[idx].work.sample(&mut w.rng))
         };
         self.current = Some(Current { cb: idx, start: now, issued: work, requester: None });
         Op::Compute(work)
     }
 
-    fn begin_service(&mut self, ctx: &mut SimCtx<'_>, idx: usize) -> Op {
+    fn begin_service(&mut self, ctx: &mut SimCtx<'_>, core: &mut ExecCore, idx: usize) -> Op {
         let now = ctx.now();
         let pid = ctx.self_pid();
-        let id = self.cbs[idx].id;
-        let reader = match &self.cbs[idx].detail {
+        let id = core.cbs[idx].id;
+        let reader = match &core.cbs[idx].detail {
             CbDetail::Service { reader, .. } => *reader,
             _ => unreachable!("begin_service on non-service"),
         };
@@ -262,7 +304,7 @@ impl NodeExecutor {
                 },
             ));
             (
-                self.cbs[idx].faults.apply_slowdown(now, self.cbs[idx].work.sample(&mut w.rng)),
+                core.cbs[idx].faults.apply_slowdown(now, core.cbs[idx].work.sample(&mut w.rng)),
                 sample.rpc_target,
             )
         };
@@ -275,18 +317,27 @@ impl NodeExecutor {
     /// request), `None` when the response was addressed to another client
     /// — in which case only the P12/P13/P14/P15 events fire, with no work,
     /// exactly the pattern Alg. 1 discards via the P14 return value.
-    fn begin_client(&mut self, ctx: &mut SimCtx<'_>, idx: usize) -> Option<Op> {
+    fn begin_client(
+        &mut self,
+        ctx: &mut SimCtx<'_>,
+        core: &mut ExecCore,
+        idx: usize,
+    ) -> Option<Op> {
         let now = ctx.now();
         let pid = ctx.self_pid();
-        let id = self.cbs[idx].id;
-        let reader = match &self.cbs[idx].detail {
+        let id = core.cbs[idx].id;
+        let reader = match &core.cbs[idx].detail {
             CbDetail::Client { reader } => *reader,
             _ => unreachable!("begin_client on non-client"),
         };
         let (work, dispatch) = {
             let mut w = self.world.borrow_mut();
             let sample = w.dds.pop_due(reader, now).expect("checked due");
-            let dispatch = sample.rpc_target == Some((pid, id));
+            // Callback ids are globally unique, so matching the id alone
+            // is exact — and unlike a pid comparison it stays correct on a
+            // multi-threaded executor, where the response may be claimed
+            // by a different worker than the one that sent the request.
+            let dispatch = sample.rpc_target.is_some_and(|(_, cb)| cb == id);
             w.call(FunctionCall::entry(now, pid, FunctionArgs::ExecuteClient));
             let addr = w.fresh_addr();
             w.call(FunctionCall::entry(
@@ -317,7 +368,7 @@ impl NodeExecutor {
                 w.call(FunctionCall::exit(now, pid, FunctionArgs::ExecuteClient));
             }
             (
-                self.cbs[idx].faults.apply_slowdown(now, self.cbs[idx].work.sample(&mut w.rng)),
+                core.cbs[idx].faults.apply_slowdown(now, core.cbs[idx].work.sample(&mut w.rng)),
                 dispatch,
             )
         };
@@ -335,30 +386,39 @@ impl ThreadLogic for NodeExecutor {
         if let Some(cur) = self.current.take() {
             self.finish(ctx, cur);
         }
+        let core_rc = Rc::clone(&self.core);
         loop {
+            let mut core = core_rc.borrow_mut();
+            let core = &mut *core;
             let now = ctx.now();
-            // 1. Expired timers, earliest deadline first.
-            let due_timer = self
+            // 1. Expired claimable timers, earliest deadline first.
+            let due_timer = core
                 .cbs
                 .iter()
                 .enumerate()
                 .filter_map(|(i, cb)| match cb.detail {
-                    CbDetail::Timer { next_fire, .. } if next_fire <= now => {
+                    CbDetail::Timer { next_fire, .. }
+                        if next_fire <= now && core.claims(self.rank, i) =>
+                    {
                         Some((next_fire, i))
                     }
                     _ => None,
                 })
                 .min();
             if let Some((_, idx)) = due_timer {
-                return self.begin_timer(ctx, idx);
+                return self.begin_timer(ctx, core, idx);
             }
-            // 2. Delivered samples, in callback registration order.
+            // 2. Delivered samples for claimable callbacks, in callback
+            //    registration order.
             let mut client_handled = false;
             let mut started: Option<Op> = None;
-            for idx in 0..self.cbs.len() {
+            for idx in 0..core.cbs.len() {
+                if !core.claims(self.rank, idx) {
+                    continue;
+                }
                 let due = {
                     let w = self.world.borrow();
-                    match &self.cbs[idx].detail {
+                    match &core.cbs[idx].detail {
                         CbDetail::Subscriber { reader, .. }
                         | CbDetail::Service { reader, .. }
                         | CbDetail::Client { reader } => w.dds.has_due(*reader, now),
@@ -368,14 +428,14 @@ impl ThreadLogic for NodeExecutor {
                 if !due {
                     continue;
                 }
-                match self.cbs[idx].detail {
+                match core.cbs[idx].detail {
                     CbDetail::Subscriber { .. } => {
-                        started = Some(self.begin_subscriber(ctx, idx));
+                        started = Some(self.begin_subscriber(ctx, core, idx));
                     }
                     CbDetail::Service { .. } => {
-                        started = Some(self.begin_service(ctx, idx));
+                        started = Some(self.begin_service(ctx, core, idx));
                     }
-                    CbDetail::Client { .. } => match self.begin_client(ctx, idx) {
+                    CbDetail::Client { .. } => match self.begin_client(ctx, core, idx) {
                         Some(op) => started = Some(op),
                         None => {
                             // Undispatched response consumed: rescan.
@@ -395,12 +455,16 @@ impl ThreadLogic for NodeExecutor {
                 continue; // consumed a non-dispatched response; look again
             }
             // 3. Nothing ready: wait on the wait-set, bounded by the next
-            //    timer deadline.
-            let next_deadline = self
+            //    claimable timer deadline. A worker pinned to no timers
+            //    blocks until a sample wake arrives.
+            let next_deadline = core
                 .cbs
                 .iter()
-                .filter_map(|cb| match cb.detail {
-                    CbDetail::Timer { next_fire, .. } => Some(next_fire),
+                .enumerate()
+                .filter_map(|(i, cb)| match cb.detail {
+                    CbDetail::Timer { next_fire, .. } if core.claims(self.rank, i) => {
+                        Some(next_fire)
+                    }
                     _ => None,
                 })
                 .min();

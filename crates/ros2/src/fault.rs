@@ -12,7 +12,10 @@
 //! - [`FaultKind::TimerStutter`] — a timer's period is scaled by a factor
 //!   (a wedged clock source, a starved timer thread);
 //! - [`FaultKind::MutePublisher`] — the callback still runs but its topic
-//!   publications are dropped (a dead sensor feed, a broken QoS match).
+//!   publications are dropped (a dead sensor feed, a broken QoS match);
+//! - [`FaultKind::MessageDrop`] — each of the callback's published copies
+//!   is independently lost in transport with a probability (a flaky radio
+//!   link, a saturated DDS writer shedding best-effort samples).
 //!
 //! Faults change *behaviour*, never *tracing*: the tracers keep observing
 //! whatever the faulty application actually does, which is exactly what
@@ -58,6 +61,17 @@ pub enum FaultKind {
     /// calls, service responses, and synchronizer outputs are unaffected —
     /// the fault models a dead *publisher*, not a dead callback.
     MutePublisher,
+    /// Each copy of the callback's topic publications is independently
+    /// lost in transport with probability `prob` (0 < prob ≤ 1). Unlike
+    /// [`FaultKind::MutePublisher`] some samples still get through, so the
+    /// monitor sees a *rate* anomaly rather than a vanished stream. The
+    /// drop stacks on top of any QoS-level best-effort loss and applies
+    /// even on a reliable QoS spec — an injected fault is precisely a
+    /// violation of the configured reliability.
+    MessageDrop {
+        /// Per-copy loss probability (0 < prob ≤ 1).
+        prob: f64,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -66,6 +80,7 @@ impl fmt::Display for FaultKind {
             FaultKind::Slowdown { factor } => write!(f, "slowdown x{factor}"),
             FaultKind::TimerStutter { factor } => write!(f, "timer stutter x{factor}"),
             FaultKind::MutePublisher => write!(f, "mute publisher"),
+            FaultKind::MessageDrop { prob } => write!(f, "message drop p={prob}"),
         }
     }
 }
@@ -132,6 +147,8 @@ pub(crate) struct CbFaults {
     pub(crate) stutter: Option<(Nanos, f64)>,
     /// Activation instant for publication muting.
     pub(crate) mute: Option<Nanos>,
+    /// `(activation, probability)` for per-copy publication loss.
+    pub(crate) msg_drop: Option<(Nanos, f64)>,
 }
 
 impl CbFaults {
@@ -155,6 +172,14 @@ impl CbFaults {
     pub(crate) fn muted(&self, now: Nanos) -> bool {
         self.mute.is_some_and(|at| now >= at)
     }
+
+    /// Extra per-copy loss probability for publications issued at `now`.
+    pub(crate) fn drop_prob(&self, now: Nanos) -> f64 {
+        match self.msg_drop {
+            Some((at, prob)) if now >= at => prob,
+            _ => 0.0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +192,7 @@ mod tests {
             slowdown: Some((Nanos::from_secs(1), 3.0)),
             stutter: Some((Nanos::from_secs(2), 2.0)),
             mute: Some(Nanos::from_secs(3)),
+            msg_drop: None,
         };
         let ms = Nanos::from_millis;
         assert_eq!(f.apply_slowdown(ms(999), ms(2)), ms(2));
@@ -179,6 +205,15 @@ mod tests {
         assert_eq!(none.apply_slowdown(ms(5000), ms(2)), ms(2));
         assert_eq!(none.effective_period(ms(5000), ms(10)), ms(10));
         assert!(!none.muted(ms(5000)));
+        assert_eq!(none.drop_prob(ms(5000)), 0.0);
+    }
+
+    #[test]
+    fn message_drop_activates_at_time() {
+        let f = CbFaults { msg_drop: Some((Nanos::from_secs(4), 0.7)), ..CbFaults::default() };
+        assert_eq!(f.drop_prob(Nanos::from_millis(3999)), 0.0);
+        assert_eq!(f.drop_prob(Nanos::from_secs(4)), 0.7);
+        assert!(FaultKind::MessageDrop { prob: 0.7 }.to_string().contains("0.7"));
     }
 
     #[test]

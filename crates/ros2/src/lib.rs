@@ -1,11 +1,13 @@
 //! ROS2 Foxy middleware simulator.
 //!
 //! Simulates the application-visible semantics of the ROS2 stack the paper
-//! traces: nodes with single-threaded executors (one thread per node, one
-//! callback at a time, Sec. II-A), timers, subscriptions, services and
-//! clients implemented over request/response topics, `message_filters`-style
-//! data synchronization, and a Cyclone-DDS-like topic transport with
-//! delivery latency.
+//! traces: nodes with single- or multi-threaded executors (one callback at
+//! a time per worker, concurrency constrained by callback groups,
+//! Sec. II-A), timers, subscriptions, services and clients implemented
+//! over request/response topics, `message_filters`-style data
+//! synchronization, and a Cyclone-DDS-like topic transport with delivery
+//! latency and optional QoS degradation (best-effort drops, bounded
+//! reorder, latency jitter).
 //!
 //! Every traced middleware function (`execute_*`, `rmw_take_*`,
 //! `dds_write_impl`, …) is *called* — i.e. reported to the attached eBPF
@@ -54,9 +56,10 @@ pub mod work;
 pub mod world;
 
 pub use app::{
-    AppBuilder, AppError, AppSpec, CallbackSpec, NodeId, NodeSpec, OutputAction, SyncGroupSpec,
+    AppBuilder, AppError, AppSpec, CallbackGroupSpec, CallbackSpec, GroupKind, NodeId, NodeSpec,
+    OutputAction, SyncGroupSpec,
 };
-pub use dds::{DdsDomain, Sample};
+pub use dds::{DdsDomain, QosSpec, Sample};
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use ground_truth::{CallbackInfo, GroundTruth, InstanceRecord};
 pub use tracers::TracerSet;

@@ -1,8 +1,8 @@
 //! Assembling applications, machine, and tracers into a runnable world.
 
-use crate::app::{AppSpec, CallbackSpec, OutputAction};
-use crate::dds::DdsDomain;
-use crate::executor::{CbDetail, CbRuntime, NodeExecutor, ResolvedOutput, SyncRuntime};
+use crate::app::{AppSpec, CallbackSpec, GroupKind, OutputAction};
+use crate::dds::{DdsDomain, QosSpec};
+use crate::executor::{CbDetail, CbRuntime, ExecCore, NodeExecutor, ResolvedOutput, SyncRuntime};
 use crate::fault::{CbFaults, FaultKind, FaultPlan};
 use crate::ground_truth::{CallbackInfo, GroundTruth};
 use crate::tracers::TracerSet;
@@ -34,13 +34,28 @@ pub enum WorldError {
     AmbiguousFaultCallback(String),
     /// A [`FaultKind::TimerStutter`] targets a non-timer callback.
     StutterOnNonTimer(String),
-    /// A fault factor is invalid: not a finite positive number, or a
-    /// stutter factor below 1.
+    /// A fault factor is invalid: not a finite positive number, a stutter
+    /// factor below 1, or a message-drop probability outside `(0, 1]`.
     BadFaultFactor {
         /// The target callback.
         callback: String,
+        /// The offending fault, so the message names what was misconfigured.
+        kind: FaultKind,
         /// The offending factor.
         factor: f64,
+    },
+    /// The QoS spec sets a drop probability, but reorder bound 0 marks the
+    /// spec reliable — a reliable transport never drops, so the setting
+    /// would be a confusing no-op. Use `reorder_bound >= 1` to opt into
+    /// best-effort delivery (bound 1 alone never reorders anything).
+    QosDropOnReliableSpec {
+        /// The drop probability that would have been ignored.
+        drop_prob: f64,
+    },
+    /// A QoS drop probability outside `[0, 1)`.
+    BadQosDropProbability {
+        /// The offending probability.
+        drop_prob: f64,
     },
 }
 
@@ -58,8 +73,18 @@ impl fmt::Display for WorldError {
             WorldError::StutterOnNonTimer(c) => {
                 write!(f, "timer-stutter fault targets non-timer callback {c:?}")
             }
-            WorldError::BadFaultFactor { callback, factor } => {
-                write!(f, "fault on {callback:?} has invalid factor {factor}")
+            WorldError::BadFaultFactor { callback, kind, factor } => {
+                write!(f, "fault {kind} on {callback:?} has invalid factor {factor}")
+            }
+            WorldError::QosDropOnReliableSpec { drop_prob } => {
+                write!(
+                    f,
+                    "QoS drop probability {drop_prob} with reorder bound 0 is a no-op: \
+                     a reliable spec never drops (set reorder_bound >= 1 for best effort)"
+                )
+            }
+            WorldError::BadQosDropProbability { drop_prob } => {
+                write!(f, "QoS drop probability {drop_prob} is outside [0, 1)")
             }
         }
     }
@@ -75,6 +100,9 @@ pub(crate) struct WorldState {
     pub(crate) ground_truth: GroundTruth,
     pub(crate) rng: StdRng,
     addr_ctr: u64,
+    /// For multi-threaded nodes: primary (reader-owning) pid → all worker
+    /// pids, rank order. Absent for single-threaded nodes.
+    wake_fanout: HashMap<Pid, Vec<Pid>>,
 }
 
 impl WorldState {
@@ -90,21 +118,36 @@ impl WorldState {
     }
 
     /// Writes a sample (emitting the P16 probe) and returns the wakeups the
-    /// caller must schedule.
+    /// caller must schedule. `extra_drop` is the fault-injected per-copy
+    /// loss probability stacked on top of the QoS one. Reader wakeups are
+    /// fanned out to every worker of a multi-threaded reading node — which
+    /// worker's wait-set returns first is exactly the scheduling race the
+    /// real executor has.
     pub(crate) fn dds_write(
         &mut self,
         now: Nanos,
         pid: Pid,
         topic: Topic,
         rpc_target: Option<(Pid, CallbackId)>,
+        extra_drop: f64,
     ) -> Vec<(Pid, Nanos)> {
-        let (src_ts, wakes) = self.dds.write(now, topic.clone(), rpc_target);
+        let (src_ts, wakes) = self.dds.write_lossy(now, topic.clone(), rpc_target, extra_drop);
         self.tracers.on_function(&FunctionCall::entry(
             now,
             pid,
             FunctionArgs::DdsWriteImpl { topic, src_ts },
         ));
-        wakes
+        if self.wake_fanout.is_empty() {
+            return wakes;
+        }
+        let mut fanned = Vec::with_capacity(wakes.len());
+        for (target, at) in wakes {
+            match self.wake_fanout.get(&target) {
+                Some(workers) => fanned.extend(workers.iter().map(|&w| (w, at))),
+                None => fanned.push((target, at)),
+            }
+        }
+        fanned
     }
 }
 
@@ -127,6 +170,7 @@ pub struct WorldBuilder {
     cpus: usize,
     timeslice: Nanos,
     dds_latency: Nanos,
+    qos: QosSpec,
     seed: u64,
     apps: Vec<AppSpec>,
     background: Vec<(Nanos, Nanos, Nanos)>,
@@ -142,6 +186,7 @@ impl WorldBuilder {
             cpus,
             timeslice: Nanos::from_millis(1),
             dds_latency: Nanos::from_micros(50),
+            qos: QosSpec::reliable(),
             seed: 0,
             apps: Vec::new(),
             background: Vec::new(),
@@ -160,6 +205,16 @@ impl WorldBuilder {
     /// Sets the DDS transport latency (default 50 µs).
     pub fn dds_latency(mut self, latency: Nanos) -> Self {
         self.dds_latency = latency;
+        self
+    }
+
+    /// Sets the DDS QoS spec (default reliable: no drops, strict FIFO, no
+    /// jitter). Validated in [`WorldBuilder::build`]: the drop probability
+    /// must lie in `[0, 1)` and requires `reorder_bound >= 1` (best-effort
+    /// delivery) to take effect. The QoS RNG is seeded from the world
+    /// seed, so degraded worlds stay deterministic.
+    pub fn qos(mut self, qos: QosSpec) -> Self {
+        self.qos = qos;
         self
     }
 
@@ -218,6 +273,16 @@ impl WorldBuilder {
         if self.apps.is_empty() {
             return Err(WorldError::NoApps);
         }
+        // QoS sanity: the drop probability must be a probability (1.0 would
+        // sever every degraded topic outright — model that as a MutePublisher
+        // fault instead), and setting one on a reliable (reorder bound 0)
+        // spec would be silently ignored, so reject the confusing no-op.
+        if !(self.qos.drop_prob.is_finite() && (0.0..1.0).contains(&self.qos.drop_prob)) {
+            return Err(WorldError::BadQosDropProbability { drop_prob: self.qos.drop_prob });
+        }
+        if self.qos.drop_prob > 0.0 && self.qos.reorder_bound == 0 {
+            return Err(WorldError::QosDropOnReliableSpec { drop_prob: self.qos.drop_prob });
+        }
         // Unique service check across the whole world.
         {
             let mut seen = std::collections::HashSet::new();
@@ -263,6 +328,7 @@ impl WorldBuilder {
                     } else {
                         Err(WorldError::BadFaultFactor {
                             callback: fault.callback.clone(),
+                            kind: fault.kind.clone(),
                             factor,
                         })
                     }
@@ -281,6 +347,18 @@ impl WorldBuilder {
                         entry.stutter = Some((fault.at, check(factor, 1.0)?));
                     }
                     FaultKind::MutePublisher => entry.mute = Some(fault.at),
+                    FaultKind::MessageDrop { prob } => {
+                        // A probability of exactly 1 is allowed (total
+                        // loss), but 0 would be a planned no-op.
+                        if !(prob.is_finite() && prob > 0.0 && prob <= 1.0) {
+                            return Err(WorldError::BadFaultFactor {
+                                callback: fault.callback.clone(),
+                                kind: fault.kind.clone(),
+                                factor: prob,
+                            });
+                        }
+                        entry.msg_drop = Some((fault.at, prob));
+                    }
                 }
             }
         }
@@ -291,11 +369,19 @@ impl WorldBuilder {
             (false, _) => TracerSet::new_unfiltered(),
         };
         let world = Rc::new(RefCell::new(WorldState {
-            dds: DdsDomain::new(self.dds_latency),
+            // The QoS RNG gets its own stream, decorrelated from the
+            // workload RNG so enabling QoS never perturbs execution-time
+            // sampling (a reliable spec draws nothing from it at all).
+            dds: DdsDomain::with_qos(
+                self.dds_latency,
+                self.qos,
+                self.seed ^ 0x9e37_79b9_7f4a_7c15,
+            ),
             tracers,
             ground_truth: GroundTruth::new(),
             rng: StdRng::seed_from_u64(self.seed),
             addr_ctr: 0,
+            wake_fanout: HashMap::new(),
         }));
 
         let mut sched = SimulatorBuilder::new(self.cpus).timeslice(self.timeslice);
@@ -358,7 +444,14 @@ impl WorldBuilder {
                     );
                     name_to_idx.insert(spec.name(), cbs.len());
                     let faults = fault_map.get(spec.name()).copied().unwrap_or_default();
-                    cbs.push(CbRuntime { id, work, outputs: Vec::new(), detail, faults });
+                    // Group 0 is the implicit mutually-exclusive default;
+                    // declared groups follow in declaration order.
+                    let group = node
+                        .groups
+                        .iter()
+                        .position(|g| g.members.iter().any(|m| m == spec.name()))
+                        .map_or(0, |gi| gi + 1);
+                    cbs.push(CbRuntime { id, work, outputs: Vec::new(), detail, faults, group });
                 }
 
                 // Second pass: outputs (client references now resolvable).
@@ -408,11 +501,44 @@ impl WorldBuilder {
                     });
                 }
 
-                let logic = NodeExecutor::new(Rc::clone(&world), cbs, syncs);
-                let spawned =
-                    sched.spawn(node.name.clone(), node.priority, node.affinity, Box::new(logic));
-                debug_assert_eq!(spawned, pid, "next_pid must predict spawn");
-                node_pids.push((node.name.clone(), pid));
+                // Pin every mutually-exclusive group (the implicit default
+                // included) to one worker rank: single ownership serializes
+                // the group's members structurally. Reentrant groups have
+                // no owner — any worker may claim them. When every group is
+                // mutually exclusive and the node has one worker, this
+                // degenerates to the classic single-threaded executor.
+                let workers = node.workers;
+                let mut owner: Vec<Option<usize>> = vec![Some(0)];
+                for (gi, group) in node.groups.iter().enumerate() {
+                    owner.push(match group.kind {
+                        GroupKind::MutuallyExclusive => Some((gi + 1) % workers),
+                        GroupKind::Reentrant => None,
+                    });
+                }
+
+                let core = Rc::new(RefCell::new(ExecCore { cbs, syncs, owner }));
+                let mut worker_pids = Vec::with_capacity(workers);
+                for rank in 0..workers {
+                    let logic = NodeExecutor::new(Rc::clone(&world), Rc::clone(&core), rank);
+                    let thread_name = if rank == 0 {
+                        node.name.clone()
+                    } else {
+                        format!("{}#w{rank}", node.name)
+                    };
+                    let spawned =
+                        sched.spawn(thread_name, node.priority, node.affinity, Box::new(logic));
+                    if rank == 0 {
+                        debug_assert_eq!(spawned, pid, "next_pid must predict spawn");
+                    }
+                    worker_pids.push(spawned);
+                    // Every worker is announced under the node name, so the
+                    // kernel tracer's PID filter admits all of them and the
+                    // model's pid→node mapping covers concurrent instances.
+                    node_pids.push((node.name.clone(), spawned));
+                }
+                if workers > 1 {
+                    world.borrow_mut().wake_fanout.insert(pid, worker_pids);
+                }
             }
         }
 

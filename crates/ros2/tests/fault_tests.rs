@@ -117,7 +117,12 @@ fn fault_plan_validation() {
         .app(chain_app())
         .fault_plan(plan("T", 0, FaultKind::Slowdown { factor: 0.0 }))
         .build();
-    assert!(matches!(bad_factor.err(), Some(WorldError::BadFaultFactor { .. })));
+    assert!(matches!(bad_factor.as_ref().err(), Some(WorldError::BadFaultFactor { .. })));
+    // The message names the offending target, fault, and factor — enough
+    // to fix a plan of dozens of faults from the error alone.
+    let msg = bad_factor.expect_err("rejected").to_string();
+    assert!(msg.contains("\"T\"") && msg.contains("0"), "{msg}");
+    assert!(msg.to_lowercase().contains("slowdown"), "{msg}");
 
     // A stutter must stretch the period: sub-1 factors would shrink it
     // toward zero and stall the simulated clock.

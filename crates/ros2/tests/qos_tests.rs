@@ -1,0 +1,147 @@
+//! QoS degradation properties at the world level: bounded reorder is
+//! really bounded, seeded lossy worlds are fully deterministic, and the
+//! builder rejects misconfigured specs with messages naming the offending
+//! setting.
+
+use proptest::prelude::*;
+use rtms_ros2::{AppBuilder, AppSpec, QosSpec, WorkModel, WorldBuilder, WorldError};
+use rtms_trace::{Nanos, RosPayload};
+
+/// A fast producer/consumer pair: enough traffic in one simulated second
+/// to exercise drops, reorder windows, and jitter thousands of times.
+fn pubsub_app() -> AppSpec {
+    let mut app = AppBuilder::new("qos");
+    let p = app.node("producer");
+    app.timer(p, "T", Nanos::from_millis(2), WorkModel::constant_millis(0.1))
+        .publishes("/data");
+    let c = app.node("consumer");
+    app.subscriber(c, "S", "/data", WorkModel::constant_millis(0.1));
+    app.build().expect("valid app")
+}
+
+fn qos_world(seed: u64, qos: QosSpec) -> rtms_ros2::Ros2World {
+    WorldBuilder::new(2)
+        .seed(seed)
+        .qos(qos)
+        .app(pubsub_app())
+        .build()
+        .expect("world builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bounded reorder, observed end to end through the executor: a
+    /// delivered sample is overtaken by at most `reorder_bound` samples
+    /// written after it, for any seed, bound, and drop probability.
+    #[test]
+    fn bounded_reorder_delivery_never_violates_the_bound(
+        seed in 0u64..10_000,
+        bound in 1usize..5,
+        drop_pct in 0u32..40,
+    ) {
+        let qos = QosSpec {
+            drop_prob: f64::from(drop_pct) / 100.0,
+            reorder_bound: bound,
+            jitter: Nanos::from_micros(100),
+        };
+        let mut world = qos_world(seed, qos);
+        let trace = world.trace_run(Nanos::from_secs(1));
+
+        // Write order on /data is the ground truth sequence; the
+        // subscriber's takes are the delivered sequence.
+        let mut write_rank = std::collections::HashMap::new();
+        let mut taken = Vec::new();
+        for e in trace.ros_events() {
+            match &e.payload {
+                RosPayload::DdsWrite { topic, src_ts } if topic.name() == "/data" => {
+                    let next = write_rank.len();
+                    write_rank.insert(src_ts.get(), next);
+                }
+                RosPayload::TakeData { topic, src_ts, .. } if topic.name() == "/data" => {
+                    taken.push(write_rank[&src_ts.get()]);
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(!taken.is_empty(), "subscriber must see traffic");
+        prop_assert!(taken.len() <= write_rank.len());
+        for (i, rank) in taken.iter().enumerate() {
+            let overtakers = taken[..i].iter().filter(|r| *r > rank).count();
+            prop_assert!(
+                overtakers <= bound,
+                "sample {rank} overtaken by {overtakers} later writes > bound {bound}"
+            );
+        }
+        // Drops only ever thin the stream; with no drops nothing is lost.
+        if drop_pct == 0 {
+            prop_assert_eq!(taken.len(), write_rank.len(), "reorder alone must not lose samples");
+        }
+    }
+
+    /// A seeded lossy world is fully deterministic: the same seed gives a
+    /// byte-identical trace (every ROS event and every sched event), so
+    /// degraded-QoS recordings replay exactly like reliable ones.
+    #[test]
+    fn seeded_qos_worlds_are_deterministic(seed in 0u64..10_000) {
+        let qos = QosSpec {
+            drop_prob: 0.2,
+            reorder_bound: 3,
+            jitter: Nanos::from_micros(300),
+        };
+        let run = || qos_world(seed, qos).trace_run(Nanos::from_secs(1));
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.ros_events(), b.ros_events());
+        prop_assert_eq!(a.sched_events(), b.sched_events());
+    }
+}
+
+/// The explicit reliable spec is the default: `.qos(QosSpec::reliable())`
+/// draws zero RNG and leaves the trace byte-identical to a world that
+/// never mentioned QoS.
+#[test]
+fn reliable_spec_is_byte_identical_to_no_qos() {
+    let with_qos = qos_world(7, QosSpec::reliable()).trace_run(Nanos::from_secs(1));
+    let without = WorldBuilder::new(2)
+        .seed(7)
+        .app(pubsub_app())
+        .build()
+        .expect("world builds")
+        .trace_run(Nanos::from_secs(1));
+    assert_eq!(with_qos.ros_events(), without.ros_events());
+    assert_eq!(with_qos.sched_events(), without.sched_events());
+}
+
+/// Misconfigured QoS specs are rejected at `build()`, and the errors name
+/// the offending setting so the fix is obvious from the message alone.
+#[test]
+fn qos_spec_validation_names_the_offending_setting() {
+    // Drop probability on a reliable (reorder bound 0) spec is a no-op
+    // the builder refuses rather than silently ignoring.
+    let noop = WorldBuilder::new(1)
+        .qos(QosSpec { drop_prob: 0.25, reorder_bound: 0, jitter: Nanos::ZERO })
+        .app(pubsub_app())
+        .build();
+    assert_eq!(noop.as_ref().err(), Some(&WorldError::QosDropOnReliableSpec { drop_prob: 0.25 }));
+    let msg = noop.expect_err("rejected").to_string();
+    assert!(msg.contains("0.25") && msg.contains("reorder bound 0"), "{msg}");
+
+    // Probability 1.0 would drop *every* sample forever — outside [0, 1).
+    let all_dropped = WorldBuilder::new(1)
+        .qos(QosSpec { drop_prob: 1.0, reorder_bound: 2, jitter: Nanos::ZERO })
+        .app(pubsub_app())
+        .build();
+    assert_eq!(
+        all_dropped.as_ref().err(),
+        Some(&WorldError::BadQosDropProbability { drop_prob: 1.0 })
+    );
+    assert!(all_dropped.expect_err("rejected").to_string().contains("outside [0, 1)"));
+
+    // The valid corner: best-effort reorder with no drops at all.
+    assert!(WorldBuilder::new(1)
+        .qos(QosSpec { drop_prob: 0.0, reorder_bound: 1, jitter: Nanos::ZERO })
+        .app(pubsub_app())
+        .build()
+        .is_ok());
+}

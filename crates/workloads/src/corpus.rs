@@ -17,7 +17,83 @@
 //!
 //! The matrix is deliberately small (one simulated second per case, a
 //! few KB per file) but varied: single- and multi-app worlds, segment
-//! lengths from 50 ms (many small segments) to 250 ms (few large ones).
+//! lengths from 50 ms (many small segments) to 250 ms (few large ones),
+//! and multi-threaded-executor worlds (`mt-*`) that pin the interleaved
+//! schedules callback groups produce.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Which construction recipe a bench world uses — the scenario axis of
+/// the corpus matrix and of recorded segment files.
+///
+/// Serialized as a kebab-case string inside a file's meta frame; writers
+/// omit the field entirely for the [`WorldProfile::Standard`] default,
+/// so recordings of standard worlds stay byte-identical to those made
+/// before profiles existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WorldProfile {
+    /// Single-threaded executors, reliable QoS, the default generator
+    /// mix.
+    #[default]
+    Standard,
+    /// Multi-threaded executors with callback groups
+    /// (`GeneratorConfig::multi_threaded`).
+    MultiThreaded,
+    /// Default applications over degraded QoS: best-effort drops,
+    /// bounded reorder, latency jitter.
+    Lossy,
+    /// Heavy-tailed bursty publishers in the mix
+    /// (`GeneratorConfig::bursty`).
+    Bursty,
+}
+
+impl WorldProfile {
+    /// Whether this is the [`WorldProfile::Standard`] profile (used by
+    /// writers to omit the field from serialized meta frames).
+    pub fn is_standard(&self) -> bool {
+        *self == WorldProfile::Standard
+    }
+
+    /// The kebab-case wire name of the profile.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WorldProfile::Standard => "standard",
+            WorldProfile::MultiThreaded => "multi-threaded",
+            WorldProfile::Lossy => "lossy",
+            WorldProfile::Bursty => "bursty",
+        }
+    }
+
+    /// Parses a wire name written by [`WorldProfile::as_str`].
+    pub fn parse(s: &str) -> Option<WorldProfile> {
+        match s {
+            "standard" => Some(WorldProfile::Standard),
+            "multi-threaded" => Some(WorldProfile::MultiThreaded),
+            "lossy" => Some(WorldProfile::Lossy),
+            "bursty" => Some(WorldProfile::Bursty),
+            _ => None,
+        }
+    }
+}
+
+// Manual impls: the vendored serde derive supports no rename attributes,
+// and the profile must serialize as its kebab-case wire name.
+impl Serialize for WorldProfile {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for WorldProfile {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                WorldProfile::parse(s).ok_or_else(|| DeError::unknown_variant("WorldProfile", s))
+            }
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
 
 /// One corpus case: the parameters of a recorded world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +108,8 @@ pub struct CorpusCase {
     pub seed: u64,
     /// Segment length in simulated milliseconds.
     pub segment_ms: u64,
+    /// World construction recipe.
+    pub profile: WorldProfile,
 }
 
 impl CorpusCase {
@@ -44,17 +122,19 @@ impl CorpusCase {
 /// The fixed corpus matrix. Append-only by convention: adding a case is
 /// cheap, changing an existing one silently retires the regression it
 /// carried.
-pub const CORPUS_CASES: [CorpusCase; 10] = [
-    CorpusCase { name: "app-a", secs: 1, apps: 1, seed: 11, segment_ms: 250 },
-    CorpusCase { name: "app-b", secs: 1, apps: 1, seed: 12, segment_ms: 250 },
-    CorpusCase { name: "app-c", secs: 1, apps: 1, seed: 13, segment_ms: 250 },
-    CorpusCase { name: "app-d", secs: 1, apps: 1, seed: 14, segment_ms: 250 },
-    CorpusCase { name: "app-e", secs: 1, apps: 1, seed: 15, segment_ms: 100 },
-    CorpusCase { name: "app-f", secs: 1, apps: 1, seed: 16, segment_ms: 100 },
-    CorpusCase { name: "app-g", secs: 1, apps: 1, seed: 17, segment_ms: 50 },
-    CorpusCase { name: "app-h", secs: 1, apps: 1, seed: 18, segment_ms: 50 },
-    CorpusCase { name: "duo-a", secs: 1, apps: 2, seed: 21, segment_ms: 250 },
-    CorpusCase { name: "duo-b", secs: 1, apps: 2, seed: 22, segment_ms: 50 },
+pub const CORPUS_CASES: [CorpusCase; 12] = [
+    CorpusCase { name: "app-a", secs: 1, apps: 1, seed: 11, segment_ms: 250, profile: WorldProfile::Standard },
+    CorpusCase { name: "app-b", secs: 1, apps: 1, seed: 12, segment_ms: 250, profile: WorldProfile::Standard },
+    CorpusCase { name: "app-c", secs: 1, apps: 1, seed: 13, segment_ms: 250, profile: WorldProfile::Standard },
+    CorpusCase { name: "app-d", secs: 1, apps: 1, seed: 14, segment_ms: 250, profile: WorldProfile::Standard },
+    CorpusCase { name: "app-e", secs: 1, apps: 1, seed: 15, segment_ms: 100, profile: WorldProfile::Standard },
+    CorpusCase { name: "app-f", secs: 1, apps: 1, seed: 16, segment_ms: 100, profile: WorldProfile::Standard },
+    CorpusCase { name: "app-g", secs: 1, apps: 1, seed: 17, segment_ms: 50, profile: WorldProfile::Standard },
+    CorpusCase { name: "app-h", secs: 1, apps: 1, seed: 18, segment_ms: 50, profile: WorldProfile::Standard },
+    CorpusCase { name: "duo-a", secs: 1, apps: 2, seed: 21, segment_ms: 250, profile: WorldProfile::Standard },
+    CorpusCase { name: "duo-b", secs: 1, apps: 2, seed: 22, segment_ms: 50, profile: WorldProfile::Standard },
+    CorpusCase { name: "mt-a", secs: 1, apps: 1, seed: 31, segment_ms: 250, profile: WorldProfile::MultiThreaded },
+    CorpusCase { name: "mt-b", secs: 1, apps: 2, seed: 32, segment_ms: 100, profile: WorldProfile::MultiThreaded },
 ];
 
 #[cfg(test)]
@@ -68,6 +148,26 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), CORPUS_CASES.len());
         assert_eq!(CORPUS_CASES[0].file_name(), "app-a.seg");
+    }
+
+    #[test]
+    fn profile_serde_is_kebab_case_with_standard_default() {
+        assert_eq!(
+            serde_json::to_string(&WorldProfile::MultiThreaded).expect("ser"),
+            "\"multi-threaded\""
+        );
+        assert_eq!(
+            serde_json::from_str::<WorldProfile>("\"lossy\"").expect("de"),
+            WorldProfile::Lossy
+        );
+        assert_eq!(WorldProfile::default(), WorldProfile::Standard);
+        assert!(WorldProfile::Standard.is_standard());
+        assert!(!WorldProfile::Bursty.is_standard());
+    }
+
+    #[test]
+    fn matrix_covers_multi_threaded_worlds() {
+        assert!(CORPUS_CASES.iter().any(|c| c.profile == WorldProfile::MultiThreaded));
     }
 
     #[test]

@@ -18,7 +18,12 @@
 //!   stuttered cadence still yields start-gap samples within one
 //!   observation window ([`FaultScenarioConfig::stutter_max_period`]);
 //! - publisher mutes hit timers whose published topic someone subscribes
-//!   to, so the structural change is observable downstream.
+//!   to, so the structural change is observable downstream;
+//! - message drops hit brisk timers that are the *sole* publisher of a
+//!   topic some eligible subscriber consumes, so the starved arrival rate
+//!   at that subscriber is unambiguous evidence of transport loss
+//!   ([`FaultScenarioConfig::drop_max_period`] keeps the healthy rate
+//!   high enough to be judged within one observation window).
 
 use crate::generator::{generate_app, GeneratorConfig};
 use rand::rngs::StdRng;
@@ -38,6 +43,9 @@ pub enum ExpectedAlert {
     PeriodDrift,
     /// Structural change (from a [`FaultKind::MutePublisher`]).
     TopologyChange,
+    /// Starved subscriber arrival rate (from a [`FaultKind::MessageDrop`]
+    /// on the upstream publisher).
+    MessageLoss,
 }
 
 /// Ground truth for one injected fault.
@@ -91,6 +99,11 @@ impl InjectedFault {
                         .chain(diff.missing_edges.iter())
                         .any(|e| mentions(&e.from) || mentions(&e.to))
             }
+            (AlertKind::MessageLoss { key, .. }, ExpectedAlert::MessageLoss) => {
+                // The loss is observed where messages fail to arrive: at
+                // the subscribers the dropping publisher feeds.
+                self.downstream_keys.contains(key)
+            }
             _ => false,
         }
     }
@@ -106,6 +119,28 @@ impl InjectedFault {
         match (&alert.kind, self.expected) {
             (AlertKind::LoadSpike { node, .. }, ExpectedAlert::ExecDrift) => {
                 self.vertex_key.starts_with(&format!("{node}|"))
+            }
+            // A stuttered or muted upstream also *starves* its consumers:
+            // a 2.2x stutter leaves ~45% of the healthy rate, right at the
+            // loss bound, and a mute's activation window still delivers a
+            // sub-bound trickle. Loss alerts inside the propagation cone
+            // are attribution, not false positives.
+            (
+                AlertKind::MessageLoss { key, .. },
+                ExpectedAlert::PeriodDrift | ExpectedAlert::TopologyChange,
+            ) => self.downstream_keys.contains(key),
+            // Heavy transport loss can empty a consumer's window outright,
+            // which the monitor reports as structure going missing.
+            (AlertKind::TopologyChange { diff }, ExpectedAlert::MessageLoss) => {
+                let mentions =
+                    |k: &String| k == &self.vertex_key || self.downstream_keys.contains(k);
+                diff.added_vertices.iter().any(mentions)
+                    || diff.missing_vertices.iter().any(mentions)
+                    || diff
+                        .added_edges
+                        .iter()
+                        .chain(diff.missing_edges.iter())
+                        .any(|e| mentions(&e.from) || mentions(&e.to))
             }
             _ => false,
         }
@@ -189,6 +224,15 @@ pub struct FaultScenarioConfig {
     /// stuttered cadence still produces start gaps inside one observation
     /// window.
     pub stutter_max_period: Nanos,
+    /// Message-drop probability range (inclusive). Kept well above the
+    /// monitor's loss threshold complement so the surviving rate is
+    /// unambiguously below the bound, and below 1 so the stream thins
+    /// rather than vanishes.
+    pub drop_prob: (f64, f64),
+    /// Only timers with a period up to this are message-drop targets, so
+    /// the starved subscriber's healthy arrival rate predicts enough
+    /// messages per observation window to be judged for loss.
+    pub drop_max_period: Nanos,
 }
 
 impl FaultScenarioConfig {
@@ -203,6 +247,8 @@ impl FaultScenarioConfig {
             slowdown_factor: (5.0, 7.0),
             stutter_factor: (2.0, 2.2),
             stutter_max_period: Nanos::from_millis(125),
+            drop_prob: (0.65, 0.8),
+            drop_max_period: Nanos::from_millis(80),
         }
     }
 }
@@ -226,6 +272,8 @@ struct Candidate {
     is_timer: bool,
     period: Nanos,
     vertex_key: String,
+    /// Subscribed topic (empty for timers).
+    topic: String,
     /// Plain published topics (what a mute silences).
     publishes: Vec<String>,
 }
@@ -274,8 +322,8 @@ fn fed_by(app: &AppSpec, topics: &[String]) -> std::collections::BTreeSet<String
 ///
 /// Deterministic per `(seed, config)`. The number of injected faults is
 /// `min(config.faults, eligible targets)` — each callback is faulted at
-/// most once, and fault kinds rotate slowdown → stutter → mute, skipping
-/// kinds with no remaining eligible target.
+/// most once, and fault kinds rotate slowdown → stutter → mute → message
+/// drop, skipping kinds with no remaining eligible target.
 pub fn generate_fault_scenario(seed: u64, config: &FaultScenarioConfig) -> FaultScenario {
     let app = generate_app(seed, &config.app);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_ca5e);
@@ -316,6 +364,7 @@ pub fn generate_fault_scenario(seed: u64, config: &FaultScenarioConfig) -> Fault
                         is_timer: true,
                         period: *period,
                         vertex_key: format!("{}|timer|{}", node.name, outs.join(",")),
+                        topic: String::new(),
                         publishes,
                     });
                 }
@@ -326,6 +375,7 @@ pub fn generate_fault_scenario(seed: u64, config: &FaultScenarioConfig) -> Fault
                         is_timer: false,
                         period: Nanos::ZERO,
                         vertex_key: format!("{}|subscriber|{}", node.name, topic),
+                        topic: topic.clone(),
                         publishes,
                     });
                 }
@@ -350,6 +400,26 @@ pub fn generate_fault_scenario(seed: u64, config: &FaultScenarioConfig) -> Fault
         }
     };
 
+    // How many writers each topic has (callback publications and
+    // synchronizer outputs alike). A message drop is only detectable at a
+    // subscriber whose topic has exactly one writer — otherwise the other
+    // writers keep the arrival rate above the loss bound.
+    let mut writers: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for node in &app.nodes {
+        for cb in &node.callbacks {
+            for out in cb.outputs() {
+                if let OutputAction::Publish(t) = out {
+                    *writers.entry(t.as_str()).or_insert(0) += 1;
+                }
+            }
+        }
+        for group in &node.sync_groups {
+            for t in &group.outputs {
+                *writers.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+    }
+
     let mut used: Vec<bool> = candidates.iter().map(|_| false).collect();
     // Callbacks perturbed downstream of an already-chosen mute/stutter:
     // not eligible as further targets (a starved callback cannot exhibit
@@ -357,7 +427,12 @@ pub fn generate_fault_scenario(seed: u64, config: &FaultScenarioConfig) -> Fault
     let mut perturbed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     let mut plan = FaultPlan::new();
     let mut truth: Vec<InjectedFault> = Vec::new();
-    let kinds = [ExpectedAlert::ExecDrift, ExpectedAlert::PeriodDrift, ExpectedAlert::TopologyChange];
+    let kinds = [
+        ExpectedAlert::ExecDrift,
+        ExpectedAlert::PeriodDrift,
+        ExpectedAlert::TopologyChange,
+        ExpectedAlert::MessageLoss,
+    ];
     // Start the kind rotation at a seed-dependent offset so scenarios with
     // few faults still cover all kinds across a seed sweep.
     let mut kind_cursor = (seed % kinds.len() as u64) as usize;
@@ -393,6 +468,17 @@ pub fn generate_fault_scenario(seed: u64, config: &FaultScenarioConfig) -> Fault
                                     .any(|t| subscribed.iter().any(|s| s == t))
                                 && independent()
                         }
+                        ExpectedAlert::MessageLoss => {
+                            c.is_timer
+                                && c.period <= config.drop_max_period
+                                && c.publishes.iter().any(|t| {
+                                    writers.get(t.as_str()) == Some(&1)
+                                        && candidates
+                                            .iter()
+                                            .any(|d| !d.is_timer && d.topic == *t)
+                                })
+                                && independent()
+                        }
                     }
                 })
                 .map(|(i, _)| i)
@@ -415,6 +501,9 @@ pub fn generate_fault_scenario(seed: u64, config: &FaultScenarioConfig) -> Fault
                 FaultKind::TimerStutter { factor: uniform(&mut rng, config.stutter_factor) }
             }
             ExpectedAlert::TopologyChange => FaultKind::MutePublisher,
+            ExpectedAlert::MessageLoss => {
+                FaultKind::MessageDrop { prob: uniform(&mut rng, config.drop_prob) }
+            }
         };
         let downstream = match expected {
             ExpectedAlert::ExecDrift => std::collections::BTreeSet::new(),
@@ -490,6 +579,9 @@ mod tests {
                         assert!(*factor >= 2.0 && *factor <= 2.2)
                     }
                     (FaultKind::MutePublisher, ExpectedAlert::TopologyChange) => {}
+                    (FaultKind::MessageDrop { prob }, ExpectedAlert::MessageLoss) => {
+                        assert!(*prob >= 0.65 && *prob <= 0.8)
+                    }
                     other => panic!("fault/expectation mismatch: {other:?}"),
                 }
                 assert!(

@@ -35,7 +35,7 @@ pub use case_study::{
     case_study_run_conditions, case_study_world, case_study_world_for_run,
     case_study_world_with_condition, run_and_synthesize, synthesize_runs, RunCondition,
 };
-pub use corpus::{CorpusCase, CORPUS_CASES};
+pub use corpus::{CorpusCase, WorldProfile, CORPUS_CASES};
 pub use faults::{
     generate_fault_scenario, monitor_run, monitoring_app_config, ExpectedAlert, FaultScenario,
     FaultScenarioConfig, InjectedFault,

@@ -1,0 +1,289 @@
+//! Differential oracle suite for the scenario axes: multi-threaded
+//! executors and degraded QoS must never change what the synthesized
+//! model *says* about an application.
+//!
+//! - A multi-threaded executor whose callbacks all serialize (pinned to
+//!   the implicit default group, or to one declared mutually-exclusive
+//!   group) is observationally equivalent to the single-threaded
+//!   executor: the synthesized model is byte-identical as JSON.
+//! - Reentrant groups genuinely overlap callback instances, and
+//!   Algorithm 2 still reconstructs every instance's execution time
+//!   exactly from the per-thread sched stream.
+//! - Models synthesized under lossy QoS stay valid: no phantom vertices
+//!   or edges relative to the reliable run of the same world, and timing
+//!   watermarks stay bounded by the simulator's ground truth.
+
+use ros2_tms::ros2::{
+    AppBuilder, AppSpec, CallbackSpec, GroupKind, QosSpec, WorkModel, WorldBuilder,
+};
+use ros2_tms::synthesis::{synthesize, Dag, VertexKind};
+use ros2_tms::trace::{CallbackKind, Nanos};
+use ros2_tms::workloads::{generate_app, GeneratorConfig};
+use std::collections::HashSet;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Variant {
+    /// Single-threaded executors (the baseline).
+    SingleThreaded,
+    /// Three workers per node, no declared groups: everything serializes
+    /// on the implicit default mutually-exclusive group.
+    MtDefaultGroup,
+    /// Three workers per node, all callbacks in one declared
+    /// mutually-exclusive group (pinned to a non-primary worker).
+    MtSerializedGroup,
+}
+
+/// A five-node AD-style pipeline: two sensor timers fused through a sync
+/// group, a planner chaining an RPC into a command topic, and a sink.
+fn pipeline_app(variant: Variant) -> AppSpec {
+    let mut app = AppBuilder::new("oracle");
+    let mut nodes = Vec::new();
+    let src = app.node("sensors");
+    app.timer(src, "TA", Nanos::from_millis(20), WorkModel::uniform_millis(0.2, 0.8))
+        .publishes("/a");
+    app.timer(src, "TB", Nanos::from_millis(30), WorkModel::uniform_millis(0.2, 0.8))
+        .publishes("/b");
+    let fuse = app.node("fusion");
+    app.subscriber(fuse, "FA", "/a", WorkModel::uniform_millis(0.3, 0.9));
+    app.subscriber(fuse, "FB", "/b", WorkModel::uniform_millis(0.3, 0.9));
+    app.sync_group(fuse, "SYNC", ["FA", "FB"], ["/fused"]);
+    let plan = app.node("planner");
+    app.subscriber(plan, "P", "/fused", WorkModel::uniform_millis(0.5, 1.5)).calls("CL");
+    app.client(plan, "CL", "/map", WorkModel::constant_millis(0.3)).publishes("/cmd");
+    let srv = app.node("map_server");
+    app.service(srv, "SV", "/map", WorkModel::constant_millis(1.0));
+    let sink = app.node("actuator");
+    app.subscriber(sink, "S", "/cmd", WorkModel::constant_millis(0.2));
+    nodes.extend([src, fuse, plan, srv, sink]);
+
+    if variant != Variant::SingleThreaded {
+        let members: [(&str, Vec<&str>); 5] = [
+            ("sensors", vec!["TA", "TB"]),
+            ("fusion", vec!["FA", "FB"]),
+            ("planner", vec!["P", "CL"]),
+            ("map_server", vec!["SV"]),
+            ("actuator", vec!["S"]),
+        ];
+        for (node, (name, cbs)) in nodes.into_iter().zip(members) {
+            app.multi_threaded(node, 3);
+            if variant == Variant::MtSerializedGroup {
+                app.callback_group(
+                    node,
+                    format!("{name}_serial"),
+                    GroupKind::MutuallyExclusive,
+                    cbs,
+                );
+            }
+        }
+    }
+    app.build().expect("valid app")
+}
+
+fn pipeline_model(variant: Variant, seed: u64) -> Dag {
+    let mut world = WorldBuilder::new(4)
+        .seed(seed)
+        .app(pipeline_app(variant))
+        .build()
+        .expect("world builds");
+    let trace = world.trace_run(Nanos::from_secs(1));
+    synthesize(&trace)
+}
+
+/// The differential headline: for every seed, the model of the
+/// multi-threaded worlds whose callbacks all serialize is byte-identical
+/// (as canonical JSON) to the single-threaded model. Worker threads,
+/// group pinning, and the extra wakeup fan-out must be invisible.
+#[test]
+fn serialized_group_mt_models_are_byte_identical_to_st() {
+    for seed in 0..10u64 {
+        let st = pipeline_model(Variant::SingleThreaded, seed);
+        let st_json = serde_json::to_string(&st).expect("serialize");
+        assert!(!st.vertices().is_empty(), "seed {seed}: baseline model is empty");
+        for variant in [Variant::MtDefaultGroup, Variant::MtSerializedGroup] {
+            let mt_json =
+                serde_json::to_string(&pipeline_model(variant, seed)).expect("serialize");
+            assert_eq!(
+                mt_json, st_json,
+                "seed {seed}: {variant:?} model diverged from the single-threaded oracle"
+            );
+        }
+    }
+}
+
+/// Reentrant groups are the opposite oracle: instances of one callback
+/// must genuinely overlap across workers, and Algorithm 2 must still
+/// reconstruct every instance's execution time exactly.
+#[test]
+fn reentrant_groups_overlap_and_execution_times_stay_exact() {
+    let mut app = AppBuilder::new("reentrant");
+    let gen = app.node("gen");
+    app.timer(gen, "T", Nanos::from_millis(4), WorkModel::constant_millis(0.1))
+        .publishes("/work");
+    let pool = app.node("pool");
+    app.subscriber(pool, "S", "/work", WorkModel::constant_millis(12.0));
+    app.multi_threaded(pool, 3);
+    app.callback_group(pool, "re", GroupKind::Reentrant, ["S"]);
+
+    let mut world = WorldBuilder::new(4)
+        .seed(9)
+        .app(app.build().expect("valid app"))
+        .build()
+        .expect("world builds");
+    let trace = world.trace_run(Nanos::from_secs(1));
+    let gt = world.ground_truth();
+    let s = gt.id_of("S").expect("S registered");
+
+    // Max concurrent instances of S across the pool's workers.
+    let mut intervals: Vec<(Nanos, Nanos)> =
+        gt.instances_of(s).map(|r| (r.start, r.end)).collect();
+    intervals.sort();
+    assert!(intervals.len() > 50, "only {} instances", intervals.len());
+    let overlap = intervals
+        .iter()
+        .enumerate()
+        .map(|(i, (start, _))| {
+            intervals[..i].iter().filter(|(_, end)| end > start).count() + 1
+        })
+        .max()
+        .expect("nonempty");
+    assert!(overlap >= 2, "reentrant instances never overlapped (max depth {overlap})");
+
+    // Algorithm 2 stays exact under the interleaved schedule.
+    for rec in gt.instances() {
+        let measured = ros2_tms::synthesis::execution_time(
+            rec.start,
+            rec.end,
+            rec.pid,
+            trace.sched_events(),
+        );
+        assert_eq!(measured, rec.issued, "exec-time reconstruction drifted for {:?}", rec.pid);
+    }
+
+    // The model still shows one producer feeding one consumer.
+    let dag = synthesize(&trace);
+    assert!(dag.is_acyclic());
+    let sub = dag
+        .vertices()
+        .iter()
+        .find(|v| v.kind == VertexKind::Callback(CallbackKind::Subscriber))
+        .expect("subscriber vertex");
+    assert!(sub.stats.count() > 50, "subscriber stats too thin: {}", sub.stats.count());
+}
+
+/// Vertex identity that is stable across QoS settings: node, kind, and
+/// the undecorated input topic.
+fn vertex_identity(dag: &Dag) -> HashSet<(String, String, String)> {
+    dag.vertices()
+        .iter()
+        .map(|v| {
+            let base_in = v
+                .in_topic
+                .as_deref()
+                .map(|t| t.split('#').next().unwrap_or(t).to_string())
+                .unwrap_or_default();
+            (v.node.clone(), v.kind.to_string(), base_in)
+        })
+        .collect()
+}
+
+/// Edges as (producer identity, consumer identity, undecorated topic).
+fn edge_identity(dag: &Dag) -> HashSet<(String, String, String)> {
+    let key = |id: usize| {
+        let v = &dag.vertices()[id];
+        format!("{}|{}", v.node, v.kind)
+    };
+    dag.edges()
+        .iter()
+        .map(|e| {
+            let base = e.topic.split('#').next().unwrap_or(&e.topic).to_string();
+            (key(e.from.0), key(e.to.0), base)
+        })
+        .collect()
+}
+
+/// Models under drops, reorder, and jitter stay *valid*: every vertex and
+/// edge of the lossy model exists in the reliable model of the same
+/// seeded world (no phantom structure), timers keep their configured
+/// periods, and Algorithm 2 stays exact against the simulator's ground
+/// truth.
+#[test]
+fn lossy_models_never_grow_phantom_structure() {
+    let qos = QosSpec { drop_prob: 0.2, reorder_bound: 3, jitter: Nanos::from_micros(300) };
+    let config = GeneratorConfig::default();
+    for seed in 0..8u64 {
+        let app = generate_app(seed.wrapping_add(300), &config);
+        let run = |qos: Option<QosSpec>| {
+            let mut b = WorldBuilder::new(4).seed(seed).app(app.clone());
+            if let Some(q) = qos {
+                b = b.qos(q);
+            }
+            let mut world = b.build().expect("world builds");
+            let trace = world.trace_run(Nanos::from_secs(2));
+            (synthesize(&trace), world.ground_truth(), trace)
+        };
+        let (reliable, _, _) = run(None);
+        let (lossy, gt, trace) = run(Some(qos));
+
+        // No phantom vertices or edges: losing and reordering samples can
+        // only ever thin the observed structure.
+        let phantom_v: Vec<_> =
+            vertex_identity(&lossy).difference(&vertex_identity(&reliable)).cloned().collect();
+        assert!(phantom_v.is_empty(), "seed {seed}: phantom vertices {phantom_v:?}");
+        let phantom_e: Vec<_> =
+            edge_identity(&lossy).difference(&edge_identity(&reliable)).cloned().collect();
+        assert!(phantom_e.is_empty(), "seed {seed}: phantom edges {phantom_e:?}");
+
+        // Every vertex maps back to a callback the application declared.
+        for v in lossy.vertices() {
+            if v.kind == VertexKind::AndJunction {
+                continue;
+            }
+            let declared = app.nodes.iter().any(|n| {
+                n.name == v.node
+                    && n.callbacks.iter().any(|cb| {
+                        matches!(
+                            (cb, &v.kind),
+                            (CallbackSpec::Timer { .. }, VertexKind::Callback(CallbackKind::Timer))
+                                | (
+                                    CallbackSpec::Subscriber { .. },
+                                    VertexKind::Callback(CallbackKind::Subscriber)
+                                )
+                                | (
+                                    CallbackSpec::Service { .. },
+                                    VertexKind::Callback(CallbackKind::Service)
+                                )
+                                | (
+                                    CallbackSpec::Client { .. },
+                                    VertexKind::Callback(CallbackKind::Client)
+                                )
+                        )
+                    })
+            });
+            assert!(declared, "seed {seed}: vertex {} has no declared callback", v.merge_key());
+        }
+
+        // Watermarks stay bounded: timer period estimates track the
+        // configured 50–200 ms range (drops never touch timer firings),
+        // and exec-time reconstruction stays exact per instance.
+        for v in lossy.vertices() {
+            if v.kind == VertexKind::Callback(CallbackKind::Timer) {
+                if let Some(p) = v.period.macet() {
+                    let ms = p.as_millis_f64();
+                    assert!(
+                        (25.0..=400.0).contains(&ms),
+                        "seed {seed}: timer period watermark {ms} ms out of bounds"
+                    );
+                }
+            }
+        }
+        for rec in gt.instances() {
+            let measured = ros2_tms::synthesis::execution_time(
+                rec.start,
+                rec.end,
+                rec.pid,
+                trace.sched_events(),
+            );
+            assert_eq!(measured, rec.issued, "seed {seed}: lossy exec-time drifted");
+        }
+    }
+}

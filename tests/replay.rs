@@ -9,15 +9,14 @@
 //! only when intentionally changing the format or the synthesis
 //! semantics (see `docs/TRACE_FORMAT.md`).
 
-use rtms_bench::{bench_world, live_model, replay_path, RecordMeta};
+use rtms_bench::{bench_world_profiled, live_model, replay_path, RecordMeta};
 use rtms_core::SynthesisSession;
 use rtms_trace::{Nanos, SegmentReader, SegmentWriter};
-use rtms_workloads::CORPUS_CASES;
+use rtms_workloads::{WorldProfile, CORPUS_CASES};
 use serde::Deserialize;
 use std::path::PathBuf;
 
 /// Mirror of the manifest entries `record corpus=` writes.
-#[derive(Deserialize)]
 struct ManifestEntry {
     name: String,
     file: String,
@@ -25,10 +24,35 @@ struct ManifestEntry {
     apps: u64,
     seed: u64,
     segment_ms: u64,
+    profile: WorldProfile,
     segments: usize,
     events: u64,
     bytes: u64,
     model_digest: String,
+}
+
+// Manual impl: `profile` is omitted from the manifest for standard
+// worlds, and the vendored serde derive has no `default` attribute.
+impl Deserialize for ManifestEntry {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = serde::expect_object(v)?;
+        Ok(ManifestEntry {
+            name: String::from_value(serde::expect_field(obj, "name")?)?,
+            file: String::from_value(serde::expect_field(obj, "file")?)?,
+            secs: u64::from_value(serde::expect_field(obj, "secs")?)?,
+            apps: u64::from_value(serde::expect_field(obj, "apps")?)?,
+            seed: u64::from_value(serde::expect_field(obj, "seed")?)?,
+            segment_ms: u64::from_value(serde::expect_field(obj, "segment_ms")?)?,
+            profile: match obj.iter().find(|(k, _)| k == "profile") {
+                Some((_, v)) => WorldProfile::from_value(v)?,
+                None => WorldProfile::Standard,
+            },
+            segments: usize::from_value(serde::expect_field(obj, "segments")?)?,
+            events: u64::from_value(serde::expect_field(obj, "events")?)?,
+            bytes: u64::from_value(serde::expect_field(obj, "bytes")?)?,
+            model_digest: String::from_value(serde::expect_field(obj, "model_digest")?)?,
+        })
+    }
 }
 
 fn corpus_dir() -> PathBuf {
@@ -76,6 +100,7 @@ fn corpus_replays_to_committed_digests() {
                 apps: case.apps,
                 seed: case.seed,
                 segment_ms: case.segment_ms,
+                profile: case.profile,
             }),
             "{}: meta frame drifted",
             entry.name
@@ -100,6 +125,7 @@ fn corpus_digests_match_live_synthesis() {
             apps: entry.apps,
             seed: entry.seed,
             segment_ms: entry.segment_ms,
+            profile: entry.profile,
         };
         let live = live_model(meta);
         assert_eq!(
@@ -111,17 +137,30 @@ fn corpus_digests_match_live_synthesis() {
     }
 }
 
-/// Record→replay equivalence across a wide sweep of generated apps: the
-/// replayed model is byte-identical (as canonical JSON) to the live one
-/// for every world. Debug builds sweep a subset to keep `cargo test`
-/// quick; release builds (and the CI replay job) cover all 100.
+/// Record→replay equivalence across a wide sweep of generated apps under
+/// every scenario profile — multi-threaded executors interleave callback
+/// instances across workers, lossy QoS drops and reorders samples, bursty
+/// publishers back the executor up — and in every interleaving the
+/// replayed model is byte-identical (as canonical JSON) to the live one.
+/// Debug builds sweep a subset to keep `cargo test` quick; release builds
+/// (and the CI replay job) cover the full sweep.
 #[test]
 fn generated_apps_replay_byte_identical() {
     let seeds = if cfg!(debug_assertions) { 12u64 } else { 100 };
+    let profiles = [
+        WorldProfile::Standard,
+        WorldProfile::MultiThreaded,
+        WorldProfile::Lossy,
+        WorldProfile::Bursty,
+    ];
     for seed in 0..seeds {
-        let meta = RecordMeta { secs: 1, apps: 1, seed, segment_ms: 250 };
+        // Rotate profiles across the seed sweep (every profile still gets
+        // dozens of seeds in release) instead of multiplying the runtime
+        // by four.
+        let profile = profiles[(seed % profiles.len() as u64) as usize];
+        let meta = RecordMeta { secs: 1, apps: 1, seed, segment_ms: 250, profile };
 
-        let mut world = bench_world(meta.apps, meta.seed);
+        let mut world = bench_world_profiled(meta.apps, meta.seed, meta.profile);
         let mut writer = SegmentWriter::new(Vec::new()).expect("header");
         writer.set_meta(&meta.to_json()).expect("meta");
         world
@@ -132,7 +171,7 @@ fn generated_apps_replay_byte_identical() {
             )
             .expect("record");
         let (file, stats) = writer.finish().expect("finish");
-        assert!(stats.events > 0, "seed {seed}: empty recording");
+        assert!(stats.events > 0, "seed {seed} {profile:?}: empty recording");
 
         let mut reader = SegmentReader::new(file.as_slice()).expect("header");
         let mut session = SynthesisSession::new();
@@ -143,7 +182,7 @@ fn generated_apps_replay_byte_identical() {
         assert_eq!(
             serde_json::to_string(&replayed).expect("ser"),
             serde_json::to_string(&live).expect("ser"),
-            "seed {seed}: replayed model is not byte-identical to the live model"
+            "seed {seed} {profile:?}: replayed model is not byte-identical to the live model"
         );
     }
 }

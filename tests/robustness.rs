@@ -131,6 +131,37 @@ fn lost_middle_segment_still_merges() {
 }
 
 #[test]
+fn city_preset_builds_and_synthesizes_at_scale() {
+    // The `city` preset generates a 100+-node AD-style pipeline mixing
+    // every scenario axis: multi-threaded executors with reentrant
+    // groups, bursty publishers, deep chains, and wide fan-in. One
+    // simulated second must deploy, trace, and synthesize cleanly.
+    let config = ros2_tms::workloads::GeneratorConfig::city();
+    let app = ros2_tms::workloads::generate_app(4242, &config);
+    assert!(app.nodes.len() >= 100, "city app has only {} nodes", app.nodes.len());
+    let callbacks: usize = app.nodes.iter().map(|n| n.callbacks.len()).sum();
+    assert!(callbacks >= 150, "city app has only {callbacks} callbacks");
+    assert!(
+        app.nodes.iter().any(|n| n.workers > 1),
+        "a city app should have multi-threaded executors"
+    );
+
+    let mut world = WorldBuilder::new(8).seed(4242).app(app).build().expect("city deploys");
+    let trace = world.trace_run(Nanos::from_secs(1));
+    let dag = synthesize(&trace);
+    assert!(dag.is_acyclic());
+    let modeled = dag
+        .vertices()
+        .iter()
+        .filter(|v| !matches!(v.kind, ros2_tms::synthesis::VertexKind::AndJunction))
+        .count();
+    assert!(modeled >= 100, "only {modeled} callbacks made it into the city model");
+    // Chain enumeration stays tractable at city scale.
+    let chains = ros2_tms::analysis::enumerate_chains(&dag);
+    assert!(!chains.is_empty() && chains.len() < 100_000, "{} chains", chains.len());
+}
+
+#[test]
 fn waiting_times_measurable_with_wakeups_enabled() {
     let mut world = WorldBuilder::new(2)
         .seed(6)

@@ -1,10 +1,15 @@
 //! Scenario tests beyond the paper's case study: overload behaviour,
-//! chained RPCs, per-node executor ordering, and model utilities.
+//! chained RPCs, per-node executor ordering, model utilities, and a wide
+//! sweep of generated applications under the scenario axes (multi-threaded
+//! executors, lossy QoS, bursty publishers) scored against the simulator's
+//! ground truth.
 
 use ros2_tms::analysis::{end_to_end_latencies, enumerate_chains, node_loads};
-use ros2_tms::ros2::{AppBuilder, WorkModel, WorldBuilder};
+use ros2_tms::ros2::{AppBuilder, CallbackSpec, QosSpec, WorkModel, WorldBuilder};
 use ros2_tms::synthesis::{synthesize, VertexKind};
 use ros2_tms::trace::{CallbackKind, Nanos, RosPayload};
+use ros2_tms::workloads::{generate_app, GeneratorConfig};
+use std::collections::HashSet;
 
 #[test]
 fn overloaded_timer_keeps_executor_serial_and_period_estimate_degrades() {
@@ -154,6 +159,165 @@ fn executor_prefers_timers_then_registration_order() {
     let subs = starts.iter().filter(|k| **k == CallbackKind::Subscriber).count();
     assert!(timers >= 24, "timer fired {timers} times");
     assert!(subs >= 24, "subscriber never starved: {subs}");
+}
+
+/// The declared kind of an application callback.
+fn spec_kind(cb: &CallbackSpec) -> CallbackKind {
+    match cb {
+        CallbackSpec::Timer { .. } => CallbackKind::Timer,
+        CallbackSpec::Subscriber { .. } => CallbackKind::Subscriber,
+        CallbackSpec::Service { .. } => CallbackKind::Service,
+        CallbackSpec::Client { .. } => CallbackKind::Client,
+    }
+}
+
+/// A wide sweep of generated applications under the three scenario axes —
+/// multi-threaded executors with callback groups, lossy QoS, and bursty
+/// publishers — each scored against the simulator's ground truth:
+///
+/// - **callback coverage**: every callback that completed at least three
+///   instances appears in the model as a vertex of the right kind;
+/// - **no phantom vertices or edges**: every vertex maps to a declared
+///   callback, every edge's topic to a declared topic or service channel;
+/// - **junction consistency**: AND junctions appear exactly for the nodes
+///   that declare sync groups (and whose members all fired).
+///
+/// Debug builds sweep a subset to keep `cargo test` quick; release builds
+/// and CI cover the full hundred applications.
+#[test]
+fn generated_apps_stay_faithful_across_scenario_axes() {
+    let total = if cfg!(debug_assertions) { 12u64 } else { 100 };
+    let lossy = QosSpec { drop_prob: 0.15, reorder_bound: 2, jitter: Nanos::from_micros(200) };
+    for seed in 0..total {
+        let scenario = seed % 3;
+        let config = match scenario {
+            0 => GeneratorConfig::multi_threaded(),
+            1 => GeneratorConfig::default(), // + lossy QoS below
+            _ => GeneratorConfig::bursty(),
+        };
+        let app = generate_app(seed.wrapping_add(700), &config);
+        let mut b = WorldBuilder::new(4).seed(seed).app(app.clone());
+        if scenario == 1 {
+            b = b.qos(lossy);
+        }
+        let mut world = b.build().expect("generated app deploys");
+        let trace = world.trace_run(Nanos::from_secs(1));
+        let gt = world.ground_truth();
+        let dag = synthesize(&trace);
+        assert!(dag.is_acyclic(), "seed {seed} scenario {scenario}: cyclic model");
+
+        // Callback coverage: ground truth knows every completed instance;
+        // whatever genuinely ran (three-plus instances, so at least two
+        // fully inside the window) must be in the model.
+        let modeled: HashSet<(String, CallbackKind)> = dag
+            .vertices()
+            .iter()
+            .filter_map(|v| match v.kind {
+                VertexKind::Callback(k) => Some((v.node.clone(), k)),
+                VertexKind::AndJunction => None,
+            })
+            .collect();
+        for node in &app.nodes {
+            for cb in &node.callbacks {
+                let id = gt.id_of(cb.name()).expect("registered callback");
+                if gt.instances_of(id).count() >= 3 {
+                    assert!(
+                        modeled.contains(&(node.name.clone(), spec_kind(cb))),
+                        "seed {seed} scenario {scenario}: callback {} ({} instances) \
+                         missing from the model",
+                        cb.name(),
+                        gt.instances_of(id).count()
+                    );
+                }
+            }
+        }
+
+        // No phantom vertices: every modeled (node, kind) is declared.
+        let declared: HashSet<(String, CallbackKind)> = app
+            .nodes
+            .iter()
+            .flat_map(|n| n.callbacks.iter().map(|cb| (n.name.clone(), spec_kind(cb))))
+            .collect();
+        for key in &modeled {
+            assert!(
+                declared.contains(key),
+                "seed {seed} scenario {scenario}: phantom vertex {key:?}"
+            );
+        }
+
+        // No phantom edges: every edge topic (undecorated) is a declared
+        // plain topic or a service request/response channel.
+        let mut topics: HashSet<String> = HashSet::new();
+        for node in &app.nodes {
+            for cb in &node.callbacks {
+                for out in cb.outputs() {
+                    if let ros2_tms::ros2::OutputAction::Publish(t) = out {
+                        topics.insert(t.clone());
+                    }
+                }
+                match cb {
+                    CallbackSpec::Subscriber { topic, .. } => {
+                        topics.insert(topic.clone());
+                    }
+                    CallbackSpec::Service { service, .. }
+                    | CallbackSpec::Client { service, .. } => {
+                        topics.insert(format!("{service}Request"));
+                        topics.insert(format!("{service}Reply"));
+                    }
+                    CallbackSpec::Timer { .. } => {}
+                }
+            }
+            for group in &node.sync_groups {
+                topics.extend(group.outputs.iter().cloned());
+            }
+        }
+        let sync_nodes: HashSet<&str> = app
+            .nodes
+            .iter()
+            .filter(|n| !n.sync_groups.is_empty())
+            .map(|n| n.name.as_str())
+            .collect();
+        for e in dag.edges() {
+            let base = e.topic.split('#').next().unwrap_or(&e.topic);
+            // `&<node>` is the pseudo-topic of a node's AND junction.
+            let ok = match base.strip_prefix('&') {
+                Some(node) => sync_nodes.contains(node),
+                None => topics.contains(base),
+            };
+            assert!(ok, "seed {seed} scenario {scenario}: phantom edge topic {base:?}");
+        }
+
+        // Junction consistency: AND junctions exactly where sync groups
+        // are declared and every member subscriber fired.
+        let junction_nodes: HashSet<&str> = dag
+            .vertices()
+            .iter()
+            .filter(|v| v.kind == VertexKind::AndJunction)
+            .map(|v| v.node.as_str())
+            .collect();
+        for node in &app.nodes {
+            if node.sync_groups.is_empty() {
+                assert!(
+                    !junction_nodes.contains(node.name.as_str()),
+                    "seed {seed} scenario {scenario}: junction on sync-free node {}",
+                    node.name
+                );
+            } else {
+                let all_members_fired = node.sync_groups.iter().all(|g| {
+                    g.members.iter().all(|m| {
+                        gt.id_of(m).is_some_and(|id| gt.instances_of(id).count() >= 2)
+                    })
+                });
+                if all_members_fired {
+                    assert!(
+                        junction_nodes.contains(node.name.as_str()),
+                        "seed {seed} scenario {scenario}: sync node {} lost its junction",
+                        node.name
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]
