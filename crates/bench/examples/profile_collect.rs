@@ -1,0 +1,53 @@
+//! Profiles the collect hot path stage by stage: bare simulation (tracers
+//! never started), simulation with tracers on (drained once at the end),
+//! and the full segmented collect loop. Useful for attributing a change
+//! in the `perf` binary's collect column to the simulator, the probe
+//! dispatch, or the drain — see "Current numbers" in
+//! `docs/PERFORMANCE.md`.
+//!
+//! Run with `cargo run --release -p rtms-bench --example profile_collect`.
+use rtms_ros2::WorldBuilder;
+use rtms_trace::{Nanos, TraceSegment};
+use rtms_workloads::{generate_app, GeneratorConfig};
+use std::time::Instant;
+
+fn world() -> rtms_ros2::Ros2World {
+    let mut b = WorldBuilder::new(4).seed(0);
+    for i in 0..2u64 {
+        b = b.app(generate_app(1000 + i, &GeneratorConfig::default()));
+    }
+    b.build().unwrap()
+}
+
+fn main() {
+    let dur = Nanos::from_millis(2000);
+    // sim only: tracers never started
+    for _ in 0..3 {
+        let mut w = world();
+        w.announce_nodes();
+        let t = Instant::now();
+        w.run_for(dur);
+        println!("sim only: {:?}", t.elapsed());
+    }
+    // sim + tracers on, no drain until end
+    for _ in 0..3 {
+        let mut w = world();
+        w.announce_nodes();
+        let t = Instant::now();
+        w.start_runtime_tracers();
+        w.run_for(dur);
+        w.stop_runtime_tracers();
+        let el = t.elapsed();
+        let mut seg = TraceSegment::new();
+        w.collect_segment_into(&mut seg);
+        println!("sim+trace: {:?} ({} events)", el, seg.len());
+    }
+    // full collect loop (segmented, sorted)
+    for _ in 0..3 {
+        let mut w = world();
+        let mut n = 0u64;
+        let t = Instant::now();
+        w.trace_segments_sequential(dur, Nanos::from_millis(250), |s| n += s.len() as u64);
+        println!("collect loop: {:?} ({n} events)", t.elapsed());
+    }
+}

@@ -18,7 +18,7 @@ fn main() {
     world.trace_segments(
         Nanos::from_secs(meta.secs),
         Nanos::from_millis(meta.segment_ms),
-        |s| segments.push(s),
+        |s| segments.push(std::mem::take(s)),
     );
     let events: u64 = segments.iter().map(|s| s.len() as u64).sum();
 

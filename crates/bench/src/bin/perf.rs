@@ -17,13 +17,45 @@
 //!   entirely, so its throughput over the e2e number
 //!   (`replay_over_e2e`) is the payoff of recording a run.
 //!
+//! ## Replay columns (bench_format ≥ 2)
+//!
+//! Three report fields describe the record/replay economics; they are
+//! documented here and in docs/EXPERIMENTS.md ("Reading the replay
+//! columns"), which cross-links back:
+//!
+//! - `replay_events_per_sec` / `default_replay_events_per_sec` — events
+//!   per second synthesizing from the recorded file (decode + feed,
+//!   fastest of ≥5 reps).
+//! - `encoded_bytes` — size of the recorded segment file for the
+//!   scenario, i.e. what a stored run costs on disk (about 9 B/event).
+//! - `replay_over_e2e` — `default_replay / default_e2e`. CI fails if
+//!   this ratio drops below **1.5**: replaying a recording must stay
+//!   decisively faster than re-simulating, or recording loses its point.
+//!
+//! ## Allocation probe (bench_format ≥ 3)
+//!
+//! The report's `alloc_probe` object proves the recycled-slab segment
+//! transport allocates nothing in steady state. The bench binary installs
+//! a counting global allocator (thread-local counters, so threads don't
+//! contaminate each other) and runs the default scenario through the
+//! pipelined path with a consumer that only inspects segments:
+//!
+//! - `transport_allocs_steady` — allocations on the consumer/transport
+//!   thread between the first and last segment: sort, hand-back, slab
+//!   recycle. **Gated at exactly 0 in CI.**
+//! - `feeding_allocs_per_segment` — informational: the same path with a
+//!   live `SynthesisSession` consuming events. Synthesis legitimately
+//!   allocates (its per-write tables grow with the model), so this is
+//!   reported, not gated; see "Pipeline internals" in
+//!   docs/PERFORMANCE.md for the scoping argument.
+//!
 //! Every timed phase runs several times and reports its fastest run
 //! (see [`REPS`]) so the columns — and the ratios between them — stay
 //! meaningful on a noisy shared machine.
 //!
 //! A harness sweep additionally reports multi-run aggregate throughput at
 //! 1 and `threads` worker threads. `out=<path>` writes the JSON report to
-//! a file — `out=BENCH_6.json` at the repo root is the committed baseline
+//! a file — `out=BENCH_8.json` at the repo root is the committed baseline
 //! this PR's CI gate compares against (see docs/PERFORMANCE.md).
 //!
 //! `record=<path>` and `replay=<path>` short-circuit the matrix: the
@@ -43,6 +75,48 @@ use rtms_trace::{Nanos, SegmentReader, SegmentWriter, TraceSegment};
 use rtms_workloads::{generate_app, GeneratorConfig};
 use serde::Serialize;
 use std::time::Instant;
+
+/// A [`std::alloc::System`] wrapper that counts allocations per thread.
+/// The counters are thread-local so the probe can attribute allocations
+/// to the pipeline's consumer thread alone — the producer thread runs the
+/// simulation, whose state (ground-truth log, DDS queues) legitimately
+/// grows with the run.
+struct CountingAlloc;
+
+thread_local! {
+    /// Allocation events (alloc + realloc) on this thread. `const`
+    /// initialization keeps the TLS access itself allocation-free.
+    static THREAD_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+// SAFETY: pure pass-through to `System`; the only addition is bumping a
+// thread-local counter, which cannot allocate or unwind.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(
+        &self,
+        ptr: *mut u8,
+        layout: std::alloc::Layout,
+        new_size: usize,
+    ) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation events so far on the calling thread.
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(std::cell::Cell::get)
+}
 
 /// Segment lengths of the scenario matrix, in simulated milliseconds.
 const SEGMENT_MS: [u64; 2] = [50, 250];
@@ -71,6 +145,26 @@ struct HarnessSweep {
     events_per_sec: f64,
 }
 
+/// Result of the steady-state allocation probe (see the module docs).
+#[derive(Serialize)]
+struct AllocProbe {
+    /// Segments the probe run produced.
+    segments: u64,
+    /// Consumer-thread allocations between the first and last segment of
+    /// a transport-only run (sort + hand-back + slab recycle). The CI
+    /// gate requires exactly 0: steady state must run entirely on
+    /// recycled slabs.
+    transport_allocs_steady: u64,
+    /// Consumer-thread allocations over the whole transport-only run,
+    /// including thread startup and the first segment. Informational.
+    transport_allocs_total: u64,
+    /// Consumer-thread allocations per segment when a live
+    /// `SynthesisSession` consumes the events — includes the synthesis
+    /// state machine's own (legitimate, model-growth) allocations.
+    /// Informational, not gated.
+    feeding_allocs_per_segment: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     bench_format: u32,
@@ -89,6 +183,9 @@ struct Report {
     /// `default_replay / default_e2e` — how much faster re-analyzing a
     /// recorded run is than collecting and synthesizing it live.
     replay_over_e2e: f64,
+    /// Steady-state allocation counts for the pipelined segment
+    /// transport; `transport_allocs_steady` is gated at 0 in CI.
+    alloc_probe: AllocProbe,
 }
 
 fn world(apps: u64, seed: u64) -> Ros2World {
@@ -127,7 +224,9 @@ fn run_scenario(apps: u64, segment_ms: u64, args: &ExperimentArgs) -> Scenario {
     // world (same seed => same trace).
     let mut w = world(apps, args.seed());
     let mut segments: Vec<TraceSegment> = Vec::new();
-    w.trace_segments_sequential(duration, seg_len, |segment| segments.push(segment));
+    w.trace_segments_sequential(duration, seg_len, |segment| {
+        segments.push(std::mem::take(segment));
+    });
     let events: u64 = segments.iter().map(|s| s.len() as u64).sum();
     assert_eq!(collected, events, "same seed must produce the same trace");
     let mut synth_secs = f64::INFINITY;
@@ -157,7 +256,7 @@ fn run_scenario(apps: u64, segment_ms: u64, args: &ExperimentArgs) -> Scenario {
         let mut e2e_session = SynthesisSession::new();
         let t = Instant::now();
         w.trace_segments(duration, seg_len, |segment| {
-            e2e_session.feed_segment(&segment);
+            e2e_session.feed_segment(segment);
         });
         let e2e_model = e2e_session.model();
         e2e_secs = e2e_secs.min(t.elapsed().as_secs_f64());
@@ -206,6 +305,58 @@ fn run_scenario(apps: u64, segment_ms: u64, args: &ExperimentArgs) -> Scenario {
     }
 }
 
+/// Runs the default scenario through the pipelined segment transport
+/// twice — once with an observing consumer, once with a live session —
+/// and reports what the consumer thread allocated (see the module docs).
+///
+/// The thread-local counter starts at 0 on the freshly spawned consumer
+/// thread, so the value at the *last* callback is the thread's lifetime
+/// total, and the delta from the *first* callback is the steady-state
+/// window: every sort, hand-back, and slab recycle between the first and
+/// last segment. The gate requires that window to allocate nothing.
+fn run_alloc_probe(apps: u64, args: &ExperimentArgs) -> AllocProbe {
+    let duration = args.duration();
+    let seg_len = Nanos::from_millis(250);
+
+    // Transport-only pass: the consumer just observes each segment, so
+    // every allocation the counter sees belongs to the transport itself.
+    let mut w = world(apps, args.seed());
+    let (mut segments, mut at_first, mut at_last) = (0u64, 0u64, 0u64);
+    w.trace_segments_pipelined(duration, seg_len, |segment| {
+        std::hint::black_box(segment.len());
+        if segments == 0 {
+            at_first = thread_allocs();
+        }
+        at_last = thread_allocs();
+        segments += 1;
+    });
+    let transport_allocs_steady = at_last - at_first;
+    let transport_allocs_total = at_last;
+
+    // Feeding pass: same transport, but a live session consumes the
+    // events — the per-segment rate here is synthesis' own allocation
+    // appetite on top of the (zero-alloc) transport.
+    let mut w = world(apps, args.seed());
+    let mut session = SynthesisSession::new();
+    let (mut fed, mut fed_first, mut fed_last) = (0u64, 0u64, 0u64);
+    w.trace_segments_pipelined(duration, seg_len, |segment| {
+        session.feed_segment(segment);
+        if fed == 0 {
+            fed_first = thread_allocs();
+        }
+        fed_last = thread_allocs();
+        fed += 1;
+    });
+    let _ = session.model();
+
+    AllocProbe {
+        segments,
+        transport_allocs_steady,
+        transport_allocs_total,
+        feeding_allocs_per_segment: (fed_last - fed_first) as f64 / fed.saturating_sub(1).max(1) as f64,
+    }
+}
+
 fn run_harness_sweep(threads: usize, args: &ExperimentArgs) -> HarnessSweep {
     let runs = 4;
     let apps = args.extra_u64("apps", 2);
@@ -217,7 +368,7 @@ fn run_harness_sweep(threads: usize, args: &ExperimentArgs) -> HarnessSweep {
             let mut w = world(apps, plan.seed);
             let mut session = SynthesisSession::new();
             w.trace_segments(args.duration(), Nanos::from_millis(250), |segment| {
-                session.feed_segment(&segment);
+                session.feed_segment(segment);
             });
             let _ = session.model();
             session.events_fed()
@@ -301,11 +452,13 @@ fn main() {
         harness.push(run_harness_sweep(args.threads(), &args));
     }
 
+    let alloc_probe = run_alloc_probe(apps, &args);
+
     let default_scenario = scenarios.iter().find(|s| s.apps == apps && s.segment_ms == 250);
     let default_e2e = default_scenario.map(|s| s.e2e_events_per_sec).unwrap_or_default();
     let default_replay = default_scenario.map(|s| s.replay_events_per_sec).unwrap_or_default();
     let report = Report {
-        bench_format: 2,
+        bench_format: 3,
         secs: args.secs(),
         apps,
         seed: args.seed(),
@@ -315,6 +468,7 @@ fn main() {
         default_e2e_events_per_sec: default_e2e,
         default_replay_events_per_sec: default_replay,
         replay_over_e2e: default_replay / default_e2e.max(1e-12),
+        alloc_probe,
     };
 
     let json = serde_json::to_string(&report).expect("report serializes");
@@ -356,5 +510,12 @@ fn main() {
     println!(
         "default scenario replay: {:.0} events/s ({:.1}x end-to-end)",
         report.default_replay_events_per_sec, report.replay_over_e2e
+    );
+    println!(
+        "alloc probe: {} consumer-thread allocs across {} steady-state segments ({} total incl. warmup; {:.1}/segment with live synthesis)",
+        report.alloc_probe.transport_allocs_steady,
+        report.alloc_probe.segments,
+        report.alloc_probe.transport_allocs_total,
+        report.alloc_probe.feeding_allocs_per_segment
     );
 }

@@ -77,10 +77,10 @@ fn main() {
     let e2e_start = Instant::now();
     world.trace_segments(args.duration(), Nanos::from_millis(segment_ms), |segment| {
         let t = Instant::now();
-        session.feed_segment(&segment);
+        session.feed_segment(segment);
         streaming_synth += t.elapsed().as_secs_f64();
         if compare {
-            kept.push(segment);
+            kept.push(std::mem::take(segment));
         }
     });
     let t = Instant::now();

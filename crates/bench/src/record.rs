@@ -168,7 +168,7 @@ pub fn live_model(meta: RecordMeta) -> Dag {
     world.trace_segments(
         Nanos::from_secs(meta.secs),
         Nanos::from_millis(meta.segment_ms),
-        |segment| session.feed_segment(&segment),
+        |segment| session.feed_segment(segment),
     );
     session.model()
 }

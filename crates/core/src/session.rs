@@ -384,12 +384,26 @@ impl SynthesisSession {
     /// (both streams merged by timestamp); the segment can be dropped
     /// afterwards — the session retains only derived state.
     pub fn feed_segment(&mut self, segment: &TraceSegment) {
-        self.feed_cursor(segment.cursor(), segment.len());
+        if segment.is_sorted_by_time() {
+            self.feed_sorted_slices(segment.ros_events(), segment.sched_events(), segment.len());
+        } else {
+            self.feed_cursor(segment.cursor(), segment.len());
+        }
     }
 
     /// Consumes a whole trace as one segment.
     pub fn feed_trace(&mut self, trace: &Trace) {
-        self.feed_cursor(trace.cursor(), trace.len());
+        if trace.is_sorted_by_time() {
+            self.feed_trace_sorted(trace)
+        } else {
+            self.feed_cursor(trace.cursor(), trace.len());
+        }
+    }
+
+    /// Direct two-pointer walk for a trace whose streams are already
+    /// chronologically sorted (see `feed_sorted_slices`).
+    fn feed_trace_sorted(&mut self, trace: &Trace) {
+        self.feed_sorted_slices(trace.ros_events(), trace.sched_events(), trace.len());
     }
 
     /// Consumes one trace segment *by value*. Equivalent to
@@ -461,6 +475,35 @@ impl SynthesisSession {
     fn end_feed(&mut self, len: usize) {
         let watermark = len + self.retained_entries();
         self.peak_watermark = self.peak_watermark.max(watermark);
+    }
+
+    /// The hot-path twin of `feed_cursor` for pre-sorted streams: a direct
+    /// two-pointer merge over the event slices, with no index tables and
+    /// no per-segment allocation. Ordering is identical to
+    /// [`SegmentCursor`]'s contract — each stream in (already-)stable time
+    /// order, the ROS2 event first on a cross-stream timestamp tie — so
+    /// the derived model is byte-identical whichever path runs. Segments
+    /// produced by `Ros2World::trace_segments` arrive sorted (the segment
+    /// contract), so in steady state this path is the one that runs.
+    fn feed_sorted_slices(&mut self, ros: &[RosEvent], sched: &[SchedEvent], len: usize) {
+        self.begin_feed(len);
+        let (mut ri, mut si) = (0, 0);
+        while ri < ros.len() && si < sched.len() {
+            if ros[ri].time <= sched[si].time {
+                self.on_ros(&ros[ri]);
+                ri += 1;
+            } else {
+                self.on_sched(&sched[si]);
+                si += 1;
+            }
+        }
+        for e in &ros[ri..] {
+            self.on_ros(e);
+        }
+        for e in &sched[si..] {
+            self.on_sched(e);
+        }
+        self.end_feed(len);
     }
 
     fn feed_cursor(&mut self, cursor: SegmentCursor<'_>, len: usize) {

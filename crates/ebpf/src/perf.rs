@@ -1,10 +1,9 @@
 //! The perf ring buffer through which probe programs export events.
 
 use rtms_trace::{EventSink, RosEvent, SchedEvent};
-use std::collections::VecDeque;
 
 /// A record that can be pushed into a [`PerfBuffer`].
-pub trait PerfRecord {
+pub trait PerfRecord: Sized {
     /// Size of the encoded record in bytes, charged against the buffer
     /// capacity.
     fn record_size(&self) -> usize;
@@ -14,6 +13,12 @@ pub trait PerfRecord {
     /// over the sink so a drain into a concrete sink monomorphizes to a
     /// direct call; `S = dyn EventSink` still works.
     fn sink_into<S: EventSink + ?Sized>(self, sink: &mut S);
+
+    /// Routes a whole batch into the matching stream via the sink's
+    /// `append_*` method — one bulk move instead of per-record dispatch.
+    /// `records` is drained but keeps its allocation, so a perf buffer's
+    /// storage survives the drain and steady state never reallocates.
+    fn sink_batch_into<S: EventSink + ?Sized>(records: &mut Vec<Self>, sink: &mut S);
 }
 
 impl PerfRecord for RosEvent {
@@ -23,6 +28,10 @@ impl PerfRecord for RosEvent {
 
     fn sink_into<S: EventSink + ?Sized>(self, sink: &mut S) {
         sink.push_ros(self);
+    }
+
+    fn sink_batch_into<S: EventSink + ?Sized>(records: &mut Vec<Self>, sink: &mut S) {
+        sink.append_ros(records);
     }
 }
 
@@ -34,6 +43,10 @@ impl PerfRecord for SchedEvent {
     fn sink_into<S: EventSink + ?Sized>(self, sink: &mut S) {
         sink.push_sched(self);
     }
+
+    fn sink_batch_into<S: EventSink + ?Sized>(records: &mut Vec<Self>, sink: &mut S) {
+        sink.append_sched(records);
+    }
 }
 
 /// A bounded event buffer with loss accounting.
@@ -42,6 +55,11 @@ impl PerfRecord for SchedEvent {
 /// dropped (and counted) when user space does not drain fast enough. The
 /// deployment flow of Fig. 2 — stop tracers, store the segment, restart
 /// with empty buffers — maps to [`PerfBuffer::drain`].
+///
+/// Storage is a plain `Vec` (not a deque): records only ever arrive at the
+/// back and leave via a full drain, so FIFO order is the vector's own
+/// order, and the batched [`PerfBuffer::drain_into`] can hand the whole
+/// vector to the sink in one move.
 ///
 /// # Example
 ///
@@ -68,7 +86,7 @@ pub struct PerfBuffer<T> {
     total_bytes: usize,
     dropped: u64,
     pushed: u64,
-    records: VecDeque<T>,
+    records: Vec<T>,
 }
 
 impl<T: PerfRecord> PerfBuffer<T> {
@@ -86,7 +104,7 @@ impl<T: PerfRecord> PerfBuffer<T> {
             total_bytes: 0,
             dropped: 0,
             pushed: 0,
-            records: VecDeque::new(),
+            records: Vec::new(),
         }
     }
 
@@ -102,7 +120,7 @@ impl<T: PerfRecord> PerfBuffer<T> {
         self.peak_bytes = self.peak_bytes.max(self.used_bytes);
         self.total_bytes += size;
         self.pushed += 1;
-        self.records.push_back(record);
+        self.records.push(record);
         true
     }
 
@@ -110,18 +128,20 @@ impl<T: PerfRecord> PerfBuffer<T> {
     /// (user space storing a trace segment).
     pub fn drain(&mut self) -> Vec<T> {
         self.used_bytes = 0;
-        self.records.drain(..).collect()
+        std::mem::take(&mut self.records)
     }
 
     /// Drains all buffered records in FIFO order directly into an
-    /// [`EventSink`] — the streaming counterpart of [`PerfBuffer::drain`],
-    /// with no intermediate vector and no per-record virtual dispatch for
-    /// concrete sink types.
+    /// [`EventSink`] — the streaming counterpart of [`PerfBuffer::drain`].
+    ///
+    /// The drain is *batched*: the whole record vector is handed to the
+    /// sink's `append_*` method in one call ([`PerfRecord::sink_batch_into`]),
+    /// so a segment drain is a bulk move rather than a per-event loop, and
+    /// the buffer's storage comes back with its capacity intact.
     pub fn drain_into<S: EventSink + ?Sized>(&mut self, sink: &mut S) {
         self.used_bytes = 0;
-        for record in self.records.drain(..) {
-            record.sink_into(sink);
-        }
+        T::sink_batch_into(&mut self.records, sink);
+        debug_assert!(self.records.is_empty(), "sink must drain the batch");
     }
 
     /// Number of buffered records.
@@ -246,5 +266,29 @@ mod tests {
         assert_eq!(trace.sched_events().len(), 1);
         assert!(ros_buf.is_empty() && sched_buf.is_empty());
         assert!(ros_buf.push(ev()), "space reclaimed after drain_into");
+    }
+
+    #[test]
+    fn drain_into_keeps_fifo_order_into_nonempty_sink() {
+        use rtms_trace::Trace;
+        // The swap fast path only applies to an empty sink; a non-empty
+        // sink must see the records appended after its own, in order.
+        let mut trace = Trace::new();
+        trace.push_ros(RosEvent::new(
+            Nanos::from_nanos(0),
+            Pid::new(9),
+            RosPayload::CallbackEnd { kind: CallbackKind::Timer },
+        ));
+        let mut buf = PerfBuffer::new(1 << 10);
+        for t in 1..=3 {
+            buf.push(RosEvent::new(
+                Nanos::from_nanos(t),
+                Pid::new(1),
+                RosPayload::CallbackStart { kind: CallbackKind::Timer },
+            ));
+        }
+        buf.drain_into(&mut trace);
+        let times: Vec<u64> = trace.ros_events().iter().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![0, 1, 2, 3]);
     }
 }

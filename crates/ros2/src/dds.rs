@@ -189,6 +189,23 @@ impl DdsDomain {
         rpc_target: Option<(Pid, CallbackId)>,
         extra_drop: f64,
     ) -> (SourceTimestamp, Vec<(Pid, Nanos)>) {
+        let mut wakes = Vec::new();
+        let src_ts = self.write_lossy_into(now, &topic, rpc_target, extra_drop, &mut wakes);
+        (src_ts, wakes)
+    }
+
+    /// The allocation-free core of [`DdsDomain::write_lossy`]: appends the
+    /// `(reader thread, arrival time)` wakeups onto `wakes` instead of
+    /// returning a fresh vector, so the per-publish hot path of the
+    /// executors can reuse one scratch buffer across every instance.
+    pub fn write_lossy_into(
+        &mut self,
+        now: Nanos,
+        topic: &Topic,
+        rpc_target: Option<(Pid, CallbackId)>,
+        extra_drop: f64,
+        wakes: &mut Vec<(Pid, Nanos)>,
+    ) -> SourceTimestamp {
         let src_ts = SourceTimestamp::new(self.next_src_ts);
         let seq = self.next_src_ts;
         self.next_src_ts += 1;
@@ -196,9 +213,8 @@ impl DdsDomain {
         // QoS degrades plain topics only; service traffic stays reliable.
         let plain = !topic.is_service_request() && !topic.is_service_response();
         let best_effort = plain && self.qos.reorder_bound >= 1;
-        let mut wakes = Vec::new();
         for reader in &mut self.readers {
-            if reader.topic != topic {
+            if &reader.topic != topic {
                 continue;
             }
             let mut drop_prob = extra_drop;
@@ -233,7 +249,7 @@ impl DdsDomain {
             );
             wakes.push((reader.pid, arrival));
         }
-        (src_ts, wakes)
+        src_ts
     }
 
     /// Pops the front sample of `reader` if it has arrived by `now`.

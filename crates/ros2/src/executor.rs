@@ -114,6 +114,9 @@ pub struct NodeExecutor {
     core: Rc<RefCell<ExecCore>>,
     rank: usize,
     current: Option<Current>,
+    /// Scratch for the wakeups accumulated while finishing an instance,
+    /// reused across instances so the publish path never allocates.
+    wakes: Vec<(Pid, Nanos)>,
 }
 
 impl NodeExecutor {
@@ -122,7 +125,7 @@ impl NodeExecutor {
         core: Rc<RefCell<ExecCore>>,
         rank: usize,
     ) -> Self {
-        NodeExecutor { world, core, rank, current: None }
+        NodeExecutor { world, core, rank, current: None, wakes: Vec::new() }
     }
 
     /// Finishes the instance whose compute just completed: performs its
@@ -134,7 +137,12 @@ impl NodeExecutor {
         let core = &mut *core;
         let now = ctx.now();
         let pid = ctx.self_pid();
-        let mut wakes: Vec<(Pid, Nanos)> = Vec::new();
+        // Accumulate wakeups in the executor's scratch buffer; publishes
+        // append into it via `dds_write_into`, so finishing an instance
+        // performs no allocation. The topic lists are iterated by
+        // reference — `core` and the world are separate `RefCell`s, so
+        // publishing while the core is borrowed is fine.
+        let mut wakes = std::mem::take(&mut self.wakes);
 
         // Synchronizer bookkeeping: mark this member's slot; if the set is
         // complete, this (last-arriving) instance publishes the output.
@@ -145,9 +153,8 @@ impl NodeExecutor {
                 g.filled.iter().all(|&f| f)
             };
             if fire {
-                let outputs = core.syncs[group].outputs.clone();
-                for topic in outputs {
-                    wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, None, 0.0));
+                for topic in &core.syncs[group].outputs {
+                    self.world.borrow_mut().dds_write_into(now, pid, topic, None, 0.0, &mut wakes);
                 }
                 let g = &mut core.syncs[group];
                 g.filled.iter_mut().for_each(|f| *f = false);
@@ -159,32 +166,44 @@ impl NodeExecutor {
         // MessageDrop fault loses each published copy with a probability.
         let muted = core.cbs[cur.cb].faults.muted(now);
         let extra_drop = core.cbs[cur.cb].faults.drop_prob(now);
-        for out in core.cbs[cur.cb].outputs.clone() {
+        for out in &core.cbs[cur.cb].outputs {
             match out {
                 ResolvedOutput::Publish(topic) => {
                     if muted {
                         continue;
                     }
-                    wakes.extend(
-                        self.world.borrow_mut().dds_write(now, pid, topic, None, extra_drop),
+                    self.world.borrow_mut().dds_write_into(
+                        now,
+                        pid,
+                        topic,
+                        None,
+                        extra_drop,
+                        &mut wakes,
                     );
                 }
                 ResolvedOutput::CallService { client_cb, request_topic } => {
-                    wakes.extend(self.world.borrow_mut().dds_write(
+                    self.world.borrow_mut().dds_write_into(
                         now,
                         pid,
                         request_topic,
-                        Some((pid, client_cb)),
+                        Some((pid, *client_cb)),
                         0.0,
-                    ));
+                        &mut wakes,
+                    );
                 }
             }
         }
 
         // A service responds to its caller.
         if let CbDetail::Service { response_topic, .. } = &core.cbs[cur.cb].detail {
-            let topic = response_topic.clone();
-            wakes.extend(self.world.borrow_mut().dds_write(now, pid, topic, cur.requester, 0.0));
+            self.world.borrow_mut().dds_write_into(
+                now,
+                pid,
+                response_topic,
+                cur.requester,
+                0.0,
+                &mut wakes,
+            );
         }
 
         // Callback-end probe (P4/P8/P11/P15).
@@ -206,9 +225,11 @@ impl NodeExecutor {
             });
         }
 
-        for (target, at) in wakes {
+        for &(target, at) in &wakes {
             ctx.wake_at(target, at);
         }
+        wakes.clear();
+        self.wakes = wakes;
     }
 
     fn begin_timer(&mut self, ctx: &mut SimCtx<'_>, core: &mut ExecCore, idx: usize) -> Op {

@@ -103,6 +103,9 @@ pub(crate) struct WorldState {
     /// For multi-threaded nodes: primary (reader-owning) pid → all worker
     /// pids, rank order. Absent for single-threaded nodes.
     wake_fanout: HashMap<Pid, Vec<Pid>>,
+    /// Scratch buffer for expanding reader wakeups through `wake_fanout`,
+    /// reused across publishes so the fanout path stays allocation-free.
+    fan_scratch: Vec<(Pid, Nanos)>,
 }
 
 impl WorldState {
@@ -117,37 +120,48 @@ impl WorldState {
         0x7fff_0000_0000 + self.addr_ctr
     }
 
-    /// Writes a sample (emitting the P16 probe) and returns the wakeups the
-    /// caller must schedule. `extra_drop` is the fault-injected per-copy
-    /// loss probability stacked on top of the QoS one. Reader wakeups are
-    /// fanned out to every worker of a multi-threaded reading node — which
-    /// worker's wait-set returns first is exactly the scheduling race the
-    /// real executor has.
-    pub(crate) fn dds_write(
+    /// Writes a sample (emitting the P16 probe), appending the wakeups the
+    /// caller must schedule onto `out`. `extra_drop` is the fault-injected
+    /// per-copy loss probability stacked on top of the QoS one. Reader
+    /// wakeups are fanned out to every worker of a multi-threaded reading
+    /// node — which worker's wait-set returns first is exactly the
+    /// scheduling race the real executor has.
+    ///
+    /// The out-parameter shape (instead of returning a vector) is what
+    /// keeps the per-publish path of [`crate::NodeExecutor`] allocation
+    /// free: every executor owns one scratch buffer that every publish of
+    /// every instance appends into.
+    pub(crate) fn dds_write_into(
         &mut self,
         now: Nanos,
         pid: Pid,
-        topic: Topic,
+        topic: &Topic,
         rpc_target: Option<(Pid, CallbackId)>,
         extra_drop: f64,
-    ) -> Vec<(Pid, Nanos)> {
-        let (src_ts, wakes) = self.dds.write_lossy(now, topic.clone(), rpc_target, extra_drop);
+        out: &mut Vec<(Pid, Nanos)>,
+    ) {
+        let start = out.len();
+        let src_ts = self.dds.write_lossy_into(now, topic, rpc_target, extra_drop, out);
         self.tracers.on_function(&FunctionCall::entry(
             now,
             pid,
-            FunctionArgs::DdsWriteImpl { topic, src_ts },
+            FunctionArgs::DdsWriteImpl { topic: topic.clone(), src_ts },
         ));
         if self.wake_fanout.is_empty() {
-            return wakes;
+            return;
         }
-        let mut fanned = Vec::with_capacity(wakes.len());
-        for (target, at) in wakes {
+        // Expand multi-threaded readers into per-worker wakeups, reusing
+        // the world's scratch to hold the unexpanded suffix.
+        let mut scratch = std::mem::take(&mut self.fan_scratch);
+        scratch.extend(out.drain(start..));
+        for &(target, at) in &scratch {
             match self.wake_fanout.get(&target) {
-                Some(workers) => fanned.extend(workers.iter().map(|&w| (w, at))),
-                None => fanned.push((target, at)),
+                Some(workers) => out.extend(workers.iter().map(|&w| (w, at))),
+                None => out.push((target, at)),
             }
         }
-        fanned
+        scratch.clear();
+        self.fan_scratch = scratch;
     }
 }
 
@@ -382,6 +396,7 @@ impl WorldBuilder {
             rng: StdRng::seed_from_u64(self.seed),
             addr_ctr: 0,
             wake_fanout: HashMap::new(),
+            fan_scratch: Vec::new(),
         }));
 
         let mut sched = SimulatorBuilder::new(self.cpus).timeslice(self.timeslice);
@@ -670,8 +685,11 @@ impl Ros2World {
     /// deployment flow: stop the runtime tracers, store the segment,
     /// restart with empty buffers. Each chronologically sorted
     /// [`TraceSegment`] (indexed in run order) is handed to `on_segment`
-    /// and then dropped, so a run of any length needs memory proportional
-    /// to one segment, not to the whole run.
+    /// by mutable reference; the buffer is *recycled* for a later window
+    /// once the callback returns, so a run of any length needs memory
+    /// proportional to one segment, not to the whole run — and a
+    /// steady-state window needs no allocation at all. A callback that
+    /// wants to keep the events takes them with `std::mem::take`.
     ///
     /// On a machine with at least two cores the two halves of the pipeline
     /// are overlapped (see [`Ros2World::trace_segments_pipelined`]):
@@ -688,7 +706,7 @@ impl Ros2World {
     /// panic.
     pub fn trace_segments<F>(&mut self, total: Nanos, segment_len: Nanos, on_segment: F)
     where
-        F: FnMut(TraceSegment) + Send,
+        F: FnMut(&mut TraceSegment) + Send,
     {
         let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         if cores >= 2 {
@@ -699,12 +717,19 @@ impl Ros2World {
     }
 
     /// The pipelined implementation behind [`Ros2World::trace_segments`]:
-    /// `on_segment` runs on a dedicated consumer thread fed through a
-    /// bounded two-slot channel, so synthesis of segment *k* overlaps
-    /// collection of segment *k + 1*. Segments arrive at the consumer
-    /// strictly in run order on one thread, byte-identical to the
-    /// sequential path. A panic in `on_segment` propagates to the caller
-    /// after the collection loop stops.
+    /// `on_segment` runs on a dedicated consumer thread fed through a pair
+    /// of lock-free SPSC rings ([`rtms_util::spsc`]), so synthesis of
+    /// segment *k* overlaps collection of segment *k + 1*. The forward
+    /// ring carries filled segment slabs; the reverse ring returns each
+    /// slab — cleared but with its event storage intact — to the collector
+    /// for reuse, so the steady state moves recycled buffers instead of
+    /// allocating fresh ones (see "Pipeline internals" in
+    /// docs/PERFORMANCE.md for the capacity and memory-ordering argument).
+    ///
+    /// Segments arrive at the consumer strictly in run order on one
+    /// thread, byte-identical to the sequential path. A panic in
+    /// `on_segment` propagates to the caller after the collection loop
+    /// stops.
     ///
     /// Exposed separately so the equivalence suite (and curious callers)
     /// can force the pipelined path regardless of the machine's core
@@ -717,56 +742,64 @@ impl Ros2World {
     /// panic.
     pub fn trace_segments_pipelined<F>(&mut self, total: Nanos, segment_len: Nanos, on_segment: F)
     where
-        F: FnMut(TraceSegment) + Send,
+        F: FnMut(&mut TraceSegment) + Send,
     {
+        // Forward ring depth: deep enough to absorb consumer hiccups (a
+        // slow synthesis window) without stalling collection, shallow
+        // enough that the in-flight working set stays cache-warm. The
+        // reverse ring must never reject a returned slab; at most
+        // DATA_RING_SLOTS + 2 slabs exist (ring full + one at each end),
+        // so one size up is structurally sufficient.
+        const DATA_RING_SLOTS: usize = 4;
+        const FREE_RING_SLOTS: usize = 2 * DATA_RING_SLOTS;
         assert!(segment_len > Nanos::ZERO, "segment length must be positive");
         self.announce_nodes();
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TraceSegment>(2);
+        let (mut data_tx, mut data_rx) = rtms_util::spsc::ring::<TraceSegment>(DATA_RING_SLOTS);
+        let (mut free_tx, mut free_rx) = rtms_util::spsc::ring::<TraceSegment>(FREE_RING_SLOTS);
         std::thread::scope(|scope| {
             let mut on_segment = on_segment;
             let consumer = scope.spawn(move || {
-                use std::sync::mpsc::TryRecvError;
-                loop {
-                    // Spin briefly before parking: segments can arrive
-                    // every few tens of microseconds, and paying a full
-                    // scheduler wakeup per segment costs more than the
-                    // synthesis work being hidden.
-                    let mut next = None;
-                    for _ in 0..2000 {
-                        match rx.try_recv() {
-                            Ok(segment) => {
-                                next = Some(segment);
-                                break;
-                            }
-                            Err(TryRecvError::Empty) => std::hint::spin_loop(),
-                            Err(TryRecvError::Disconnected) => return,
-                        }
-                    }
-                    let Some(mut segment) = next.or_else(|| rx.recv().ok()) else {
-                        return;
-                    };
+                // pop_wait spins briefly before parking: segments can
+                // arrive every few tens of microseconds, and paying a full
+                // scheduler wakeup per segment costs more than the
+                // synthesis work being hidden.
+                while let Some(mut segment) = data_rx.pop_wait() {
                     // Sorting belongs to the segment contract but not to
                     // the collection critical path — it overlaps the next
-                    // segment's collection here.
+                    // segment's collection here (and is a no-op scan when
+                    // the tracers emitted in time order).
                     segment.sort_by_time();
-                    on_segment(segment);
+                    on_segment(&mut segment);
+                    // Recycle the slab: events are gone (moved out or
+                    // cleared) but the Vec storage stays. The free ring is
+                    // sized so this cannot be Full; if the producer is
+                    // already gone the slab simply drops.
+                    segment.clear_for_reuse(0);
+                    let _ = free_tx.try_push(segment);
                 }
             });
+            let mut pool: rtms_util::SlabPool<TraceSegment> = rtms_util::SlabPool::new();
             let end = self.now() + total;
             let mut index = 0;
-            while self.now() < end {
+            let mut consumer_alive = true;
+            while consumer_alive && self.now() < end {
                 let step = segment_len.min(end - self.now());
                 self.start_runtime_tracers();
                 self.run_for(step);
                 self.stop_runtime_tracers();
-                let mut segment = TraceSegment::with_index(index);
+                // Prefer a recycled slab from the reverse ring; allocate
+                // only while the pipeline warms up (bounded by the ring
+                // depth, tracked by the pool's counter).
+                let mut segment =
+                    free_rx.try_pop().unwrap_or_else(|| pool.take_with(TraceSegment::new));
+                segment.set_index(index);
                 self.collect_segment_into(&mut segment);
-                if tx.send(segment).is_err() {
-                    break; // consumer died; its panic surfaces below
-                }
+                // A rejected push means the consumer died; its panic
+                // surfaces at the join below.
+                consumer_alive = data_tx.push(segment).is_ok();
                 index += 1;
             }
-            drop(tx);
+            drop(data_tx);
             if let Err(panic) = consumer.join() {
                 std::panic::resume_unwind(panic);
             }
@@ -775,9 +808,11 @@ impl Ros2World {
 
     /// The sequential reference for [`Ros2World::trace_segments`]:
     /// collection and consumption strictly alternate on the calling
-    /// thread. Same segment contract, no `Send` requirement on
-    /// `on_segment`; the equivalence suite pins the pipelined path
-    /// byte-identical to this one.
+    /// thread, with one slab reused across every window (the single-core
+    /// counterpart of the pipelined path's recycled-slab rings). Same
+    /// segment contract, no `Send` requirement on `on_segment`; the
+    /// equivalence suite pins the pipelined path byte-identical to this
+    /// one.
     ///
     /// # Panics
     ///
@@ -788,21 +823,23 @@ impl Ros2World {
         segment_len: Nanos,
         mut on_segment: F,
     ) where
-        F: FnMut(TraceSegment),
+        F: FnMut(&mut TraceSegment),
     {
         assert!(segment_len > Nanos::ZERO, "segment length must be positive");
         self.announce_nodes();
         let end = self.now() + total;
         let mut index = 0;
+        let mut segment = TraceSegment::new();
         while self.now() < end {
             let step = segment_len.min(end - self.now());
             self.start_runtime_tracers();
             self.run_for(step);
             self.stop_runtime_tracers();
-            let mut segment = TraceSegment::with_index(index);
+            segment.set_index(index);
             self.collect_segment_into(&mut segment);
             segment.sort_by_time();
-            on_segment(segment);
+            on_segment(&mut segment);
+            segment.clear_for_reuse(0);
             index += 1;
         }
     }
@@ -836,7 +873,7 @@ impl Ros2World {
         let mut result = Ok(());
         self.trace_segments(total, segment_len, |segment| {
             if result.is_ok() {
-                result = writer.write_segment(&segment);
+                result = writer.write_segment(segment);
             }
         });
         result

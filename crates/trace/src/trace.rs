@@ -106,9 +106,50 @@ impl Trace {
     /// Sorts both event streams chronologically (stable, so simultaneous
     /// events keep their emission order — important because a callback-start
     /// probe and the `take` probe it encloses may share a timestamp).
+    ///
+    /// Already-sorted streams are detected with one linear scan and left
+    /// untouched. Tracers emit in time order, so on the hot collection path
+    /// this is the common case and the scan replaces the sort entirely.
     pub fn sort_by_time(&mut self) {
-        self.ros_events.sort_by_key(|e| e.time);
-        self.sched_events.sort_by_key(|e| e.time);
+        if !self.ros_events.is_sorted_by_key(|e| e.time) {
+            self.ros_events.sort_by_key(|e| e.time);
+        }
+        if !self.sched_events.is_sorted_by_key(|e| e.time) {
+            self.sched_events.sort_by_key(|e| e.time);
+        }
+    }
+
+    /// Whether both event streams are already in chronological order — the
+    /// precondition for the zero-allocation two-pointer merge consumers use
+    /// instead of building a [`crate::sink::SegmentCursor`] index table.
+    pub fn is_sorted_by_time(&self) -> bool {
+        self.ros_events.is_sorted_by_key(|e| e.time)
+            && self.sched_events.is_sorted_by_key(|e| e.time)
+    }
+
+    /// Moves all events out of `events` onto the end of the ROS2 stream.
+    ///
+    /// When this trace's stream is empty the two vectors are *swapped*, so
+    /// the bulk transfer is pointer-sized and — crucially for the recycled
+    /// slab pipeline — the donor vector inherits this trace's allocated
+    /// capacity for its next fill. Otherwise the events are appended with
+    /// one `memcpy` and `events` keeps its own (now empty) storage.
+    pub fn append_ros(&mut self, events: &mut Vec<RosEvent>) {
+        if self.ros_events.is_empty() {
+            std::mem::swap(&mut self.ros_events, events);
+        } else {
+            self.ros_events.append(events);
+        }
+    }
+
+    /// Moves all events out of `events` onto the end of the scheduler
+    /// stream (same swap-when-empty contract as [`Trace::append_ros`]).
+    pub fn append_sched(&mut self, events: &mut Vec<SchedEvent>) {
+        if self.sched_events.is_empty() {
+            std::mem::swap(&mut self.sched_events, events);
+        } else {
+            self.sched_events.append(events);
+        }
     }
 
     /// The ROS2 events of one node (`SortByTime` + `filter by process` of

@@ -16,6 +16,12 @@
 //! - [`fnv`] — FNV-1a 64, the *stable* content hash the replay corpus
 //!   pins model digests with (FxHash is free to change; a committed
 //!   digest is not).
+//! - [`spsc`] — a hand-rolled lock-free single-producer/single-consumer
+//!   ring (cache-line-padded atomic head/tail over a power-of-two slot
+//!   array) that carries trace-segment slabs between the collector and
+//!   synthesis threads of the pipelined path.
+//! - [`slab`] — a tiny object pool with a lifetime-allocation counter,
+//!   the producer-side front of the segment-slab freelist.
 //!
 //! Like the `vendor/` crates, everything is hand-rolled against the
 //! published algorithm (FxHash is the Firefox/rustc hash, LEB128 is the
@@ -27,8 +33,12 @@
 pub mod arcstr;
 pub mod fnv;
 pub mod fx;
+pub mod slab;
+pub mod spsc;
 pub mod varint;
 
 pub use arcstr::{concat2, concat2_fmt, concat3};
 pub use fnv::fnv1a_64;
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use slab::SlabPool;
+pub use spsc::{ring, Consumer, Producer, PushError};

@@ -177,13 +177,13 @@ pub fn monitor_run(
     let total = Nanos::from_nanos(segment.as_nanos() * total_segments as u64);
     world.trace_segments(total, segment, |seg| {
         if seg.index() < baseline_segments {
-            baseline_session.feed_segment(&seg);
+            baseline_session.feed_segment(seg);
             if seg.index() == baseline_segments - 1 {
                 monitor = Some(Monitor::new(Baseline::from_dag(&baseline_session.model())));
             }
         } else {
             let mut window = SynthesisSession::with_names(baseline_session.names().clone());
-            window.feed_segment(&seg);
+            window.feed_segment(seg);
             let snapshot = window.model();
             let m = monitor.as_mut().expect("baseline precedes monitoring");
             for alert in m.observe(&snapshot, segment) {

@@ -160,15 +160,19 @@ proptest! {
         }
     }
 
-    /// The pipelined segment flow hands over the same segments in the same
-    /// order as the sequential reference: segments and synthesized model
-    /// are byte-identical across the generated-app population, for both
-    /// segment granularities.
+    /// Every segment-flow path hands over the same segments in the same
+    /// order: the recycled-slab SPSC pipeline and the adaptive default
+    /// (whichever implementation it picks for this machine) are pinned
+    /// byte-identical to the forced-sequential reference — segments and
+    /// synthesized model alike — across the generated-app population, for
+    /// both segment granularities.
     #[test]
-    fn pipelined_trace_segments_byte_identical_to_sequential(seed in 0u64..1_000_000) {
+    fn trace_segments_paths_byte_identical(seed in 0u64..1_000_000) {
+        #[derive(Clone, Copy, Debug)]
+        enum Path { Sequential, Pipelined, Default }
         let app = || generate_app(seed, &GeneratorConfig::default());
         for segment_ms in [40u64, 200] {
-            let collect = |pipelined: bool| {
+            let collect = |path: Path| {
                 let mut world = WorldBuilder::new(8)
                     .seed(seed ^ 0x5e9)
                     .app(app())
@@ -180,35 +184,45 @@ proptest! {
                 let seg = Nanos::from_millis(segment_ms);
                 let consume = |segments: &mut Vec<TraceSegment>,
                                session: &mut SynthesisSession,
-                               segment: TraceSegment| {
-                    session.feed_segment(&segment);
-                    segments.push(segment);
+                               segment: &mut TraceSegment| {
+                    session.feed_segment(segment);
+                    segments.push(std::mem::take(segment));
                 };
-                if pipelined {
-                    world.trace_segments_pipelined(total, seg, |s| {
+                match path {
+                    Path::Sequential => world.trace_segments_sequential(total, seg, |s| {
                         consume(&mut segments, &mut session, s);
-                    });
-                } else {
-                    world.trace_segments_sequential(total, seg, |s| {
+                    }),
+                    Path::Pipelined => world.trace_segments_pipelined(total, seg, |s| {
                         consume(&mut segments, &mut session, s);
-                    });
+                    }),
+                    Path::Default => world.trace_segments(total, seg, |s| {
+                        consume(&mut segments, &mut session, s);
+                    }),
                 }
                 let model = json(&session.model());
                 (segments, model)
             };
-            let (seq_segments, seq_model) = collect(false);
-            let (pipe_segments, pipe_model) = collect(true);
-            prop_assert_eq!(
-                serde_json::to_string(&seq_segments).expect("segments serialize"),
-                serde_json::to_string(&pipe_segments).expect("segments serialize"),
-                "segments diverged at {} ms (seed {})",
-                segment_ms,
-                seed
-            );
-            prop_assert_eq!(
-                seq_model, pipe_model,
-                "pipelined model diverged at {} ms (seed {})", segment_ms, seed
-            );
+            let (seq_segments, seq_model) = collect(Path::Sequential);
+            let seq_json = serde_json::to_string(&seq_segments).expect("segments serialize");
+            for path in [Path::Pipelined, Path::Default] {
+                let (segments, model) = collect(path);
+                prop_assert_eq!(
+                    &seq_json,
+                    &serde_json::to_string(&segments).expect("segments serialize"),
+                    "{:?} segments diverged from sequential at {} ms (seed {})",
+                    path,
+                    segment_ms,
+                    seed
+                );
+                prop_assert_eq!(
+                    &seq_model,
+                    &model,
+                    "{:?} model diverged from sequential at {} ms (seed {})",
+                    path,
+                    segment_ms,
+                    seed
+                );
+            }
         }
     }
 }

@@ -38,7 +38,7 @@ fn main() {
     let mut monitor: Option<Monitor> = None;
     world.trace_segments(Nanos::from_secs(4), segment, |seg| {
         if seg.index() < 2 {
-            healthy.feed_segment(&seg);
+            healthy.feed_segment(seg);
             if seg.index() == 1 {
                 let baseline = Baseline::from_dag(&healthy.model());
                 println!(
@@ -52,7 +52,7 @@ fn main() {
         }
         // One fresh synthesis per window, sharing the learned node names.
         let mut window = SynthesisSession::with_names(healthy.names().clone());
-        window.feed_segment(&seg);
+        window.feed_segment(seg);
         let snapshot = window.model();
         for alert in monitor.as_mut().expect("baseline first").observe(&snapshot, segment) {
             println!("segment {}: {alert}", seg.index());

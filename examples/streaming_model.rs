@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (open instances, unmatched service interactions) across boundaries.
     let mut session = SynthesisSession::new();
     world.trace_segments(Nanos::from_secs(10), Nanos::from_millis(500), |segment| {
-        session.feed_segment(&segment);
+        session.feed_segment(segment);
         if (segment.index() + 1) % 5 == 0 {
             // The model is available at any point mid-run.
             let model = session.model();
