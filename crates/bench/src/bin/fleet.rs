@@ -1,0 +1,148 @@
+//! Fleet experiment: the sharded multi-tenant ingestion service of
+//! `rtms-fleet` at configurable scale, with self-asserted correctness.
+//!
+//! `tenants` independently seeded application instances (rotating over
+//! `images` generated images: standard / multi-threaded / bursty / city
+//! presets) stream trace segments into `shards` shard workers through
+//! per-producer SPSC lanes; each shard owns its tenants' synthesis
+//! sessions, baselines, and monitors. The first `faults` tenants run one
+//! shared faulty image (two injected faults activating right after the
+//! baseline phase), the realistic bad-rollout shape the cross-tenant
+//! alert rollup is built to collapse.
+//!
+//! Reported: aggregate ingestion throughput (events/s), P50/P99
+//! ingest-to-model latency, alert throughput, the rollup's dedup ratio,
+//! fleet model size, and the memory watermarks (session event-equivalents,
+//! baseline bytes, retained monitor episodes).
+//!
+//! Self-asserted, exiting non-zero on violation:
+//!
+//! - every fault-free tenant stays silent (zero alerts);
+//! - with `faults >= 1`, every faulted tenant's recall is exactly 1.0;
+//! - with `faults >= 2`, the rollup collapses repeated causes
+//!   (dedup ratio > 1).
+//!
+//! Usage: `cargo run --release -p rtms-bench --bin fleet --
+//! [tenants=64] [shards=2] [producers=shards] [images=4] [faults=0]
+//! [secs=2] [segment_ms=500] [seed=0] [format=text|json]`
+
+use rtms_bench::{Defaults, ExperimentArgs};
+use rtms_fleet::{per_tenant_recall, FleetConfig, FleetOutcome, TenantDirectory};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FleetJson {
+    report: rtms_fleet::FleetReport,
+    rollup: rtms_monitor::AlertRollup,
+}
+
+fn main() {
+    let args = ExperimentArgs::parse_or_exit(
+        "fleet [tenants=64] [shards=2] [producers=shards] [images=4] [faults=0] [secs=2] [segment_ms=500] [seed=0] [format=text|json]",
+        Defaults::single_run(2, 0),
+        &["tenants", "shards", "producers", "images", "faults", "segment_ms"],
+    );
+    let shards = args.extra_u64("shards", 2).max(1) as usize;
+    let mut config = FleetConfig::new(args.extra_u64("tenants", 64).max(1) as usize, shards);
+    config.producers = args.extra_u64("producers", shards as u64).max(1) as usize;
+    config.images = args.extra_u64("images", 4).max(1) as usize;
+    config.faults = args.extra_u64("faults", 0) as usize;
+    config.secs = args.secs();
+    config.segment_ms = args.extra_u64("segment_ms", 500).max(1);
+    config.seed = args.seed();
+
+    eprintln!(
+        "fleet: {} tenants ({} faulted) x {}s on {} shards / {} producers ...",
+        config.tenants, config.faulted_tenants(), config.secs, config.shards, config.producers
+    );
+    let outcome = rtms_fleet::run(&config).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    assert_contract(&config, &outcome);
+
+    let report = &outcome.report;
+    if args.json() {
+        let json = serde_json::to_string(&FleetJson {
+            report: report.clone(),
+            rollup: outcome.rollup.clone(),
+        })
+        .expect("fleet report serializes");
+        println!("{json}");
+        return;
+    }
+
+    println!(
+        "Fleet: {} tenants ({} faulted, {} images) on {} shards, {} producers, {}x{} ms segments",
+        report.tenants,
+        report.faults,
+        config.images,
+        report.shards,
+        report.producers,
+        report.segments / report.tenants.max(1) as u64,
+        config.segment_ms,
+    );
+    println!();
+    println!(
+        "ingest: {} events in {} segments over {:.2}s wall = {:.0} events/s",
+        report.events, report.segments, report.wall_secs, report.events_per_sec
+    );
+    println!(
+        "latency (ingest-to-model): P50 {:.0} us, P99 {:.0} us",
+        report.p50_ingest_us, report.p99_ingest_us
+    );
+    println!(
+        "alerts: {} raised ({:.1}/s), {} distinct causes, dedup ratio {:.2}",
+        report.alerts, report.alerts_per_sec, report.distinct_causes, report.dedup_ratio
+    );
+    println!(
+        "detection: recall {:.3} over {} faulted tenants, {} alerts from healthy tenants",
+        report.recall, report.faults, report.healthy_alerts
+    );
+    println!(
+        "memory: session watermark {} event-equivalents, baselines {} bytes peak, {} retained episodes peak",
+        report.peak_session_watermark, report.peak_baseline_bytes, report.peak_retained_episodes
+    );
+    println!(
+        "fleet model: {} vertices, {} edges",
+        report.model_vertices, report.model_edges
+    );
+    if !outcome.rollup.entries.is_empty() {
+        println!();
+        println!("rollup (ranked):");
+        for e in &outcome.rollup.entries {
+            println!(
+                "  [{:?}] {} x{} across {} tenants (exemplar: tenant {}): {}",
+                e.severity, e.kind, e.alerts, e.tenants, e.exemplar_tenant, e.cause
+            );
+        }
+    }
+}
+
+/// The fleet detection contract, mirrored from the `monitoring`
+/// experiment's self-assertions: silence on healthy tenants, full recall
+/// on faulted ones, and a collapsing rollup once a cause repeats.
+fn assert_contract(config: &FleetConfig, outcome: &FleetOutcome) {
+    let report = &outcome.report;
+    assert_eq!(
+        report.healthy_alerts, 0,
+        "fault-free tenants must stay silent, saw {} alerts",
+        report.healthy_alerts
+    );
+    if config.faulted_tenants() > 0 {
+        let dir = TenantDirectory::new(config);
+        for (tenant, recall) in per_tenant_recall(&dir, config.plan().segment, &outcome.alerts) {
+            assert_eq!(recall, 1.0, "tenant {tenant}: recall {recall} < 1.0");
+        }
+        assert_eq!(report.recall, 1.0, "fleet recall {} < 1.0", report.recall);
+    }
+    if config.faulted_tenants() >= 2 {
+        assert!(
+            report.dedup_ratio > 1.0,
+            "{} faulted tenants share one faulty image, so the rollup must collapse \
+             repeated causes (dedup ratio {} <= 1)",
+            config.faulted_tenants(),
+            report.dedup_ratio
+        );
+    }
+}

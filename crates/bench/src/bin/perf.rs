@@ -32,6 +32,22 @@
 //!   this ratio drops below **1.5**: replaying a recording must stay
 //!   decisively faster than re-simulating, or recording loses its point.
 //!
+//! ## Fleet columns (bench_format ≥ 4)
+//!
+//! The report's `fleet` object tracks the sharded multi-tenant ingestion
+//! service (`rtms-fleet`, see docs/FLEET.md) on a fixed small scenario —
+//! 64 tenants (4 faulted) on 2 shards:
+//!
+//! - `fleet_events_per_sec` — aggregate ingestion throughput across all
+//!   shards. CI fails if this drops more than 2x below the committed
+//!   baseline, like the e2e column.
+//! - `fleet_p50_ingest_us` / `fleet_p99_ingest_us` — ingest-to-model
+//!   latency percentiles (producer handoff → shard has folded the
+//!   segment into the tenant's model and judged it). Informational.
+//! - `fleet_dedup_ratio` — alerts per distinct cause in the cross-tenant
+//!   rollup; gated above 1 (the faulted tenants share one faulty image,
+//!   so causes must collapse).
+//!
 //! ## Allocation probe (bench_format ≥ 3)
 //!
 //! The report's `alloc_probe` object proves the recycled-slab segment
@@ -55,7 +71,7 @@
 //!
 //! A harness sweep additionally reports multi-run aggregate throughput at
 //! 1 and `threads` worker threads. `out=<path>` writes the JSON report to
-//! a file — `out=BENCH_8.json` at the repo root is the committed baseline
+//! a file — `out=BENCH_9.json` at the repo root is the committed baseline
 //! this PR's CI gate compares against (see docs/PERFORMANCE.md).
 //!
 //! `record=<path>` and `replay=<path>` short-circuit the matrix: the
@@ -165,6 +181,24 @@ struct AllocProbe {
     feeding_allocs_per_segment: f64,
 }
 
+/// Fleet-service columns (see the module docs): the fixed 64-tenant
+/// scenario's throughput, latency percentiles, and rollup dedup ratio.
+#[derive(Serialize)]
+struct FleetPerf {
+    tenants: usize,
+    shards: usize,
+    faults: usize,
+    events: u64,
+    /// Aggregate ingestion throughput; gated in CI against the committed
+    /// baseline with the same 2x slack as the e2e column.
+    fleet_events_per_sec: f64,
+    fleet_p50_ingest_us: f64,
+    fleet_p99_ingest_us: f64,
+    alerts: u64,
+    /// Alerts per distinct rollup cause; gated > 1 in CI.
+    fleet_dedup_ratio: f64,
+}
+
 #[derive(Serialize)]
 struct Report {
     bench_format: u32,
@@ -186,6 +220,8 @@ struct Report {
     /// Steady-state allocation counts for the pipelined segment
     /// transport; `transport_allocs_steady` is gated at 0 in CI.
     alloc_probe: AllocProbe,
+    /// Sharded multi-tenant ingestion service columns (bench_format ≥ 4).
+    fleet: FleetPerf,
 }
 
 fn world(apps: u64, seed: u64) -> Ros2World {
@@ -357,6 +393,38 @@ fn run_alloc_probe(apps: u64, args: &ExperimentArgs) -> AllocProbe {
     }
 }
 
+/// Runs the fixed fleet scenario (64 tenants, 4 of them faulted, on 2
+/// shards) and reports its throughput/latency/dedup columns. The fastest
+/// of [`REPS`] runs is reported, like every other timed phase.
+fn run_fleet_perf(args: &ExperimentArgs) -> FleetPerf {
+    let mut config = rtms_fleet::FleetConfig::new(64, 2);
+    config.faults = 4;
+    config.secs = args.secs().max(1);
+    config.seed = args.seed();
+    let mut best: Option<rtms_fleet::FleetReport> = None;
+    for _ in 0..REPS {
+        let outcome = rtms_fleet::run(&config).expect("fleet perf scenario runs");
+        let better = best
+            .as_ref()
+            .is_none_or(|b| outcome.report.events_per_sec > b.events_per_sec);
+        if better {
+            best = Some(outcome.report);
+        }
+    }
+    let r = best.expect("REPS >= 1");
+    FleetPerf {
+        tenants: r.tenants,
+        shards: r.shards,
+        faults: r.faults,
+        events: r.events,
+        fleet_events_per_sec: r.events_per_sec,
+        fleet_p50_ingest_us: r.p50_ingest_us,
+        fleet_p99_ingest_us: r.p99_ingest_us,
+        alerts: r.alerts,
+        fleet_dedup_ratio: r.dedup_ratio,
+    }
+}
+
 fn run_harness_sweep(threads: usize, args: &ExperimentArgs) -> HarnessSweep {
     let runs = 4;
     let apps = args.extra_u64("apps", 2);
@@ -453,12 +521,13 @@ fn main() {
     }
 
     let alloc_probe = run_alloc_probe(apps, &args);
+    let fleet = run_fleet_perf(&args);
 
     let default_scenario = scenarios.iter().find(|s| s.apps == apps && s.segment_ms == 250);
     let default_e2e = default_scenario.map(|s| s.e2e_events_per_sec).unwrap_or_default();
     let default_replay = default_scenario.map(|s| s.replay_events_per_sec).unwrap_or_default();
     let report = Report {
-        bench_format: 3,
+        bench_format: 4,
         secs: args.secs(),
         apps,
         seed: args.seed(),
@@ -469,6 +538,7 @@ fn main() {
         default_replay_events_per_sec: default_replay,
         replay_over_e2e: default_replay / default_e2e.max(1e-12),
         alloc_probe,
+        fleet,
     };
 
     let json = serde_json::to_string(&report).expect("report serializes");
@@ -517,5 +587,15 @@ fn main() {
         report.alloc_probe.segments,
         report.alloc_probe.transport_allocs_total,
         report.alloc_probe.feeding_allocs_per_segment
+    );
+    println!(
+        "fleet ({} tenants / {} shards, {} faulted): {:.0} events/s, P50 {:.0} us, P99 {:.0} us, dedup {:.2}",
+        report.fleet.tenants,
+        report.fleet.shards,
+        report.fleet.faults,
+        report.fleet.fleet_events_per_sec,
+        report.fleet.fleet_p50_ingest_us,
+        report.fleet.fleet_p99_ingest_us,
+        report.fleet.fleet_dedup_ratio
     );
 }

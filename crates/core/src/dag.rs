@@ -412,7 +412,14 @@ impl Dag {
                 }
             }
         }
-        // Re-derive junction membership edges, then topic edges.
+        self.rederive_edges();
+    }
+
+    /// Re-derives every edge from current vertex state: `&`-junction
+    /// membership edges, junction output unions, topic edges, and OR
+    /// markings. Shared by [`Dag::merge`] and [`Dag::canonicalize`] —
+    /// both rewrite the vertex set and then rebuild edges from scratch.
+    fn rederive_edges(&mut self) {
         self.edges.clear();
         let mut junctions: HashMap<String, VertexId> = HashMap::new();
         for (i, v) in self.vertices.iter().enumerate() {
@@ -446,6 +453,59 @@ impl Dag {
         }
         self.edges = membership;
         self.rebuild_topic_edges();
+    }
+
+    /// Rewrites the model into its canonical form: duplicate-merge-key
+    /// vertices folded into one (stats summed, measurement and topic
+    /// lists unioned), vertices sorted by merge key, per-vertex
+    /// `out_topics`/`exec_times` sorted, and edges re-derived and sorted.
+    ///
+    /// This is the fixture behind the fleet determinism invariant.
+    /// [`Dag::merge`] unions vertices in encounter order, so merging the
+    /// *same* set of per-tenant models under different groupings (e.g.
+    /// shard-local merges followed by a cross-shard merge, for varying
+    /// shard counts) yields models that are semantically equal but
+    /// differ in vertex order — and, when one model carries two vertices
+    /// with the same merge key, in how those duplicates were folded.
+    /// Canonicalizing the final merge makes the serialized bytes a pure
+    /// function of the model *set*, independent of grouping and order.
+    pub fn canonicalize(&mut self) {
+        // Fold duplicate merge keys. ExecStats combines integer sums, so
+        // folding is exactly commutative; the list unions are made
+        // order-blind by the sorts below.
+        let mut folded: Vec<DagVertex> = Vec::with_capacity(self.vertices.len());
+        let mut key_to_idx: HashMap<String, usize> = HashMap::new();
+        for v in self.vertices.drain(..) {
+            match key_to_idx.get(&v.merge_key()) {
+                Some(&i) => {
+                    let mine = &mut folded[i];
+                    mine.stats.merge(&v.stats);
+                    mine.exec_times.extend(v.exec_times.iter().copied());
+                    mine.period.merge(&v.period);
+                    mine.is_sync_member |= v.is_sync_member;
+                    for t in &v.out_topics {
+                        if !mine.out_topics.contains(t) {
+                            mine.out_topics.push(t.clone());
+                        }
+                    }
+                }
+                None => {
+                    key_to_idx.insert(v.merge_key(), folded.len());
+                    folded.push(v);
+                }
+            }
+        }
+        self.vertices = folded;
+        self.vertices.sort_by_cached_key(DagVertex::merge_key);
+        for v in &mut self.vertices {
+            v.out_topics.sort();
+            v.out_topics.dedup();
+            v.exec_times.sort_unstable();
+        }
+        self.rederive_edges();
+        self.edges.sort_by(|a, b| {
+            (a.from, a.to, a.topic.as_ref() as &str).cmp(&(b.from, b.to, b.topic.as_ref()))
+        });
     }
 
     /// Renders the model in Graphviz DOT format, with timing annotations.
@@ -617,7 +677,11 @@ pub struct TopologyEdge {
 /// merge key. Element counts respect multiplicity — if a merge key occurs
 /// twice in the old model and once in the new one, it is listed once under
 /// `missing_vertices`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Diffs order lexicographically over their four (sorted) lists, so a
+/// collection of diffs — e.g. one per tenant in a fleet rollup — has a
+/// stable total order independent of arrival interleaving.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ModelDiff {
     /// Vertex keys present in the new model but not the old one.
     pub added_vertices: Vec<String>,
@@ -854,6 +918,98 @@ mod tests {
         assert_eq!(d1.edges().len(), ne, "same structure: no new edges");
         // But stats doubled.
         assert_eq!(d1.vertices()[0].stats.count(), 2);
+    }
+
+    /// Three apps sharing a topology, merged in both orders — raw merges
+    /// permute vertices, canonical forms are byte-identical.
+    #[test]
+    fn canonicalize_makes_merge_order_immaterial() {
+        let app = |tag: &str, extra: &str| {
+            let t_a: &str = &format!("/{tag}/a");
+            let lists = vec![
+                (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &[t_a], false)])),
+                (
+                    Pid::new(2),
+                    list(vec![rec(2, 2, CallbackKind::Subscriber, Some(t_a), &[extra], false)]),
+                ),
+            ];
+            Dag::from_cblists(&lists, &names(&[(1, "src"), (2, "sink")]))
+        };
+        let (a, b, c) = (app("x", "/out1"), app("y", "/out2"), app("x", "/out3"));
+        let mut fwd = a.clone();
+        fwd.merge(&b);
+        fwd.merge(&c);
+        let mut rev = c.clone();
+        rev.merge(&b);
+        rev.merge(&a);
+        assert_ne!(
+            serde_json::to_string(&fwd).unwrap(),
+            serde_json::to_string(&rev).unwrap(),
+            "raw merges are order-dependent (vertex encounter order)"
+        );
+        fwd.canonicalize();
+        rev.canonicalize();
+        assert_eq!(
+            serde_json::to_string(&fwd).unwrap(),
+            serde_json::to_string(&rev).unwrap(),
+            "canonical forms must be byte-identical"
+        );
+        assert!(fwd.is_acyclic());
+    }
+
+    /// Duplicate merge keys inside one model (two subscribers of one node
+    /// on the same topic with the same outputs) fold into a single vertex
+    /// with pooled stats, regardless of how the model was grouped.
+    #[test]
+    fn canonicalize_folds_duplicate_keys() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], false)])),
+            (
+                Pid::new(2),
+                list(vec![
+                    rec(2, 2, CallbackKind::Subscriber, Some("/a"), &["/b"], false),
+                    rec(2, 3, CallbackKind::Subscriber, Some("/a"), &["/b"], false),
+                ]),
+            ),
+        ];
+        let mut d = Dag::from_cblists(&lists, &names(&[(1, "n1"), (2, "n2")]));
+        assert_eq!(d.vertices().len(), 3, "duplicates kept by synthesis");
+        d.canonicalize();
+        assert_eq!(d.vertices().len(), 2, "duplicates folded by canonical form");
+        let sub = d
+            .vertex_ids()
+            .find(|&v| d.vertex(v).in_topic.as_deref() == Some("/a"))
+            .expect("subscriber");
+        assert_eq!(d.vertex(sub).stats.count(), 2, "stats pooled across the fold");
+        assert_eq!(d.vertex(sub).exec_times.len(), 2);
+    }
+
+    /// Canonicalize preserves topology: same merge keys, same edge
+    /// triples, same fingerprint (up to duplicate-key folding, absent
+    /// here), and is idempotent.
+    #[test]
+    fn canonicalize_preserves_topology_and_is_idempotent() {
+        let lists = vec![
+            (Pid::new(1), list(vec![rec(1, 1, CallbackKind::Timer, None, &["/f1"], false)])),
+            (Pid::new(2), list(vec![rec(2, 2, CallbackKind::Timer, None, &["/f2"], false)])),
+            (
+                Pid::new(3),
+                list(vec![
+                    rec(3, 3, CallbackKind::Subscriber, Some("/f1"), &["/f3"], true),
+                    rec(3, 4, CallbackKind::Subscriber, Some("/f2"), &[], true),
+                ]),
+            ),
+            (Pid::new(4), list(vec![rec(4, 5, CallbackKind::Subscriber, Some("/f3"), &[], false)])),
+        ];
+        let mut d =
+            Dag::from_cblists(&lists, &names(&[(1, "s1"), (2, "s2"), (3, "fusion"), (4, "sink")]));
+        let before = d.topology();
+        d.canonicalize();
+        assert_eq!(d.topology(), before, "canonical form keeps the topology");
+        assert!(d.is_acyclic());
+        let first = serde_json::to_string(&d).unwrap();
+        d.canonicalize();
+        assert_eq!(serde_json::to_string(&d).unwrap(), first, "idempotent");
     }
 
     #[test]

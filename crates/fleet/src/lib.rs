@@ -1,0 +1,54 @@
+//! Sharded multi-tenant trace ingestion and monitoring service.
+//!
+//! The paper's pipeline (trace segments → [`rtms_core::SynthesisSession`]
+//! → timing model → [`rtms_monitor::Monitor`]) watches *one* application.
+//! This crate scales that loop out to a **fleet**: N tenants — think N
+//! robots running a handful of application images — stream their trace
+//! segments into a fixed pool of shard workers, each of which owns the
+//! full per-tenant synthesis and monitoring state for the tenants hashed
+//! onto it.
+//!
+//! Architecture (see `docs/FLEET.md` for the full design):
+//!
+//! * **Producers** simulate tenants sequentially and stream each tenant's
+//!   segments into the owning shard's ingress — a multi-producer queue
+//!   built from one lock-free SPSC lane per producer
+//!   ([`rtms_util::mpsc`]), with segment slabs recycled back through
+//!   per-producer return rings (the PR 8 pipeline, generalized).
+//! * **Shards** (the crate-private `shard` module) keep one cumulative
+//!   [`rtms_core::SynthesisSession`] per in-flight tenant, install each
+//!   tenant's baseline into a [`rtms_monitor::BaselineStore`] at the
+//!   baseline boundary, judge every later window snapshot, and eagerly
+//!   merge finished tenants' models.
+//! * **Aggregation** ([`run`]) merges shard models hierarchically with
+//!   [`rtms_core::merge_dag_refs`] and canonicalizes
+//!   ([`rtms_core::Dag::canonicalize`]), sorts the alert stream into the
+//!   [`TenantAlert`] total order, and collapses it into a ranked
+//!   cross-tenant [`rtms_monitor::AlertRollup`] — all **byte-identical
+//!   for any shard or producer count**.
+//!
+//! # Example
+//!
+//! ```
+//! let mut config = rtms_fleet::FleetConfig::new(8, 2);
+//! config.faults = 2;
+//! config.secs = 2;
+//! let outcome = rtms_fleet::run(&config)?;
+//! assert_eq!(outcome.report.recall, 1.0, "every injected fault detected");
+//! assert_eq!(outcome.report.healthy_alerts, 0, "healthy tenants stay silent");
+//! assert!(outcome.report.dedup_ratio > 1.0, "shared faulty image collapses");
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub(crate) mod shard;
+pub mod service;
+pub mod tenant;
+
+pub use config::{fleet_monitor_config, FleetConfig, SegmentPlan};
+pub use report::{FleetOutcome, FleetReport, TenantAlert};
+pub use service::{per_tenant_recall, run};
+pub use tenant::{TenantDirectory, TenantImage};

@@ -1,8 +1,9 @@
 //! Typed, severity-ranked monitoring alerts.
 
-use rtms_core::ModelDiff;
+use rtms_core::{ModelDiff, TopologyEdge};
 use rtms_trace::Nanos;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::fmt;
 
 /// How urgent an alert is. Ordered: `Info < Warning < Critical`.
@@ -28,7 +29,14 @@ impl fmt::Display for Severity {
 }
 
 /// What a [`crate::Monitor`] detected.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Kinds carry a *stable total order* (variant, then subject, then
+/// measurements; `f64` fields via [`f64::total_cmp`]), so alert
+/// collections collated from concurrently drained fleet shards sort into
+/// one reproducible sequence regardless of arrival interleaving.
+/// Equality is defined as order-equivalence (`cmp == Equal`), which
+/// keeps `Eq`/`Ord` consistent even for the float fields.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum AlertKind {
     /// A callback's execution time drifted beyond its baseline envelope
     /// plus tolerance.
@@ -98,11 +106,96 @@ impl AlertKind {
             AlertKind::MessageLoss { .. } => "message_loss",
         }
     }
+
+    /// The *cause* identity of this alert: which entity failed, with the
+    /// per-window measurements stripped. Two alerts — from different
+    /// tenants, or from different windows of one tenant — with equal
+    /// [`AlertKind::name`] and equal cause describe the same underlying
+    /// failure; that pair is the grouping key of the fleet-level dedup
+    /// rollup in [`crate::rollup`].
+    pub fn cause(&self) -> String {
+        match self {
+            AlertKind::ExecDrift { key, .. }
+            | AlertKind::PeriodDrift { key, .. }
+            | AlertKind::MessageLoss { key, .. } => key.clone(),
+            AlertKind::LoadSpike { node, .. } => node.clone(),
+            AlertKind::TopologyChange { diff } => {
+                let edges = |es: &[TopologyEdge]| {
+                    es.iter()
+                        .map(|e| format!("{}>{}@{}", e.from, e.to, e.topic))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                format!(
+                    "+v[{}] -v[{}] +e[{}] -e[{}]",
+                    diff.added_vertices.join(","),
+                    diff.missing_vertices.join(","),
+                    edges(&diff.added_edges),
+                    edges(&diff.missing_edges)
+                )
+            }
+        }
+    }
+
+    /// Variant rank for the cross-variant leg of the total order.
+    fn rank(&self) -> u8 {
+        match self {
+            AlertKind::ExecDrift { .. } => 0,
+            AlertKind::PeriodDrift { .. } => 1,
+            AlertKind::TopologyChange { .. } => 2,
+            AlertKind::LoadSpike { .. } => 3,
+            AlertKind::MessageLoss { .. } => 4,
+        }
+    }
 }
+
+impl Ord for AlertKind {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use AlertKind::*;
+        match (self, other) {
+            (
+                ExecDrift { key: k1, observed_macet: o1, baseline_macet: b1, bound: d1 },
+                ExecDrift { key: k2, observed_macet: o2, baseline_macet: b2, bound: d2 },
+            ) => (k1, o1, b1, d1).cmp(&(k2, o2, b2, d2)),
+            (
+                PeriodDrift { key: k1, observed_period: o1, baseline_period: b1, bound: d1 },
+                PeriodDrift { key: k2, observed_period: o2, baseline_period: b2, bound: d2 },
+            ) => (k1, o1, b1, d1).cmp(&(k2, o2, b2, d2)),
+            (TopologyChange { diff: d1 }, TopologyChange { diff: d2 }) => d1.cmp(d2),
+            (
+                LoadSpike { node: n1, load: l1, threshold: t1 },
+                LoadSpike { node: n2, load: l2, threshold: t2 },
+            ) => n1.cmp(n2).then(l1.total_cmp(l2)).then(t1.total_cmp(t2)),
+            (
+                MessageLoss { key: k1, observed: o1, expected: e1, threshold: t1 },
+                MessageLoss { key: k2, observed: o2, expected: e2, threshold: t2 },
+            ) => (k1, o1, e1).cmp(&(k2, o2, e2)).then(t1.total_cmp(t2)),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl PartialOrd for AlertKind {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for AlertKind {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for AlertKind {}
 
 /// One emitted alert: what was detected, how urgent it is, and in which
 /// observed window (0-based snapshot index counted by the monitor).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Alerts order by `(segment, severity, kind)` — a stable total order
+/// (see [`AlertKind`]), so fleet-level reports built from concurrently
+/// drained shards serialize identically for any drain interleaving.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Alert {
     /// Index of the snapshot that triggered the alert (the monitor counts
     /// [`crate::Monitor::observe`] calls from zero).

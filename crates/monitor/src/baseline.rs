@@ -135,6 +135,31 @@ impl Baseline {
     pub fn is_empty(&self) -> bool {
         self.envelopes.is_empty()
     }
+
+    /// Approximate retained heap size of this baseline, in bytes: struct
+    /// sizes plus owned string contents. Not an allocator-exact number —
+    /// it is the *watermark unit* behind
+    /// [`crate::BaselineStore::peak_baseline_bytes`], where a
+    /// fleet-level memory budget cares about proportionality across
+    /// thousands of tenants, not malloc bookkeeping.
+    pub fn approx_bytes(&self) -> usize {
+        let envelopes: usize = self
+            .envelopes
+            .iter()
+            .map(|e| std::mem::size_of::<CallbackEnvelope>() + e.key.len())
+            .sum();
+        let vertices: usize =
+            self.topology.vertices.iter().map(|v| std::mem::size_of::<String>() + v.len()).sum();
+        let edges: usize = self
+            .topology
+            .edges
+            .iter()
+            .map(|e| {
+                std::mem::size_of_val(e) + e.from.len() + e.to.len() + e.topic.len()
+            })
+            .sum();
+        std::mem::size_of::<Baseline>() + envelopes + vertices + edges
+    }
 }
 
 #[cfg(test)]

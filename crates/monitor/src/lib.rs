@@ -26,6 +26,12 @@
 //! Everything is serializable through the vendored serde, so baselines can
 //! be persisted and alert streams shipped as JSON.
 //!
+//! For *fleets* of monitored applications, [`store::BaselineStore`] owns
+//! the per-tenant baseline/monitor pairs (with byte and episode
+//! watermarks), and [`rollup::RollupBuilder`] deduplicates the combined
+//! alert stream across tenants into a ranked [`rollup::AlertRollup`] —
+//! both consumed by the `rtms-fleet` ingestion service.
+//!
 //! # Example
 //!
 //! ```
@@ -57,7 +63,11 @@
 pub mod alert;
 pub mod baseline;
 pub mod monitor;
+pub mod rollup;
+pub mod store;
 
 pub use alert::{Alert, AlertKind, Severity};
 pub use baseline::{Baseline, CallbackEnvelope};
 pub use monitor::{Monitor, MonitorConfig};
+pub use rollup::{AlertRollup, RollupBuilder, RollupEntry};
+pub use store::BaselineStore;

@@ -56,6 +56,16 @@ pub struct MonitorConfig {
     /// instance straddling a window boundary; appearing elements are
     /// reported immediately.
     pub missing_persistence: usize,
+    /// Upper bound on retained episode-tracking entries (streak counters
+    /// plus reported-element sets, summed across all six collections).
+    /// Episode state is naturally bounded by the diff between reference
+    /// and snapshot topologies, but a fleet holding thousands of
+    /// monitors needs that bound *enforced*, not assumed: past the cap
+    /// the monitor deterministically evicts the lexicographically last
+    /// entries of the largest collection. An evicted episode can
+    /// re-report if the condition persists — bounded memory is bought
+    /// with (at worst) duplicate alerts, never with missed ones.
+    pub max_retained_episodes: usize,
 }
 
 impl Default for MonitorConfig {
@@ -73,6 +83,7 @@ impl Default for MonitorConfig {
             loss_threshold: 0.45,
             min_expected_messages: 6,
             missing_persistence: 2,
+            max_retained_episodes: 1024,
         }
     }
 }
@@ -101,6 +112,10 @@ pub struct Monitor {
     reported_added_vertices: BTreeSet<String>,
     reported_added_edges: BTreeSet<TopologyEdge>,
     alerts_emitted: u64,
+    /// High-water mark of episode entries *demanded* (measured before
+    /// bound enforcement), mirroring
+    /// [`rtms_core::SynthesisSession::peak_watermark`].
+    peak_retained_episodes: usize,
 }
 
 impl Monitor {
@@ -124,6 +139,7 @@ impl Monitor {
             reported_added_vertices: BTreeSet::new(),
             reported_added_edges: BTreeSet::new(),
             alerts_emitted: 0,
+            peak_retained_episodes: 0,
         }
     }
 
@@ -147,6 +163,27 @@ impl Monitor {
         self.alerts_emitted
     }
 
+    /// Episode-tracking entries currently retained (streak counters plus
+    /// reported-element sets). Always at most
+    /// [`MonitorConfig::max_retained_episodes`] after an
+    /// [`Monitor::observe`] returns.
+    pub fn retained_episodes(&self) -> usize {
+        self.missing_vertex_streak.len()
+            + self.missing_edge_streak.len()
+            + self.reported_missing_vertices.len()
+            + self.reported_missing_edges.len()
+            + self.reported_added_vertices.len()
+            + self.reported_added_edges.len()
+    }
+
+    /// High-water mark of episode entries demanded across the monitor's
+    /// lifetime, measured *before* bound enforcement — the number
+    /// [`MonitorConfig::max_retained_episodes`] should be sized against,
+    /// mirroring [`rtms_core::SynthesisSession::peak_watermark`].
+    pub fn peak_retained_episodes(&self) -> usize {
+        self.peak_retained_episodes
+    }
+
     /// Feeds one window's model snapshot and returns its alerts, sorted by
     /// descending severity. `window` is the observation window the
     /// snapshot covers (used for processor-load accounting).
@@ -166,9 +203,39 @@ impl Monitor {
         self.message_loss(snapshot, window, segment, &mut alerts);
         self.load_spikes(snapshot, window, segment, &mut alerts);
 
+        self.peak_retained_episodes = self.peak_retained_episodes.max(self.retained_episodes());
+        self.enforce_episode_bound();
+
         alerts.sort_by_key(|a| std::cmp::Reverse(a.severity));
         self.alerts_emitted += alerts.len() as u64;
         alerts
+    }
+
+    /// Evicts episode entries until the total is within
+    /// [`MonitorConfig::max_retained_episodes`]: always from the largest
+    /// collection (fixed tie-break order), always its lexicographically
+    /// last entry — deterministic for any alert history.
+    fn enforce_episode_bound(&mut self) {
+        let cap = self.config.max_retained_episodes;
+        while self.retained_episodes() > cap {
+            let sizes = [
+                self.missing_vertex_streak.len(),
+                self.missing_edge_streak.len(),
+                self.reported_missing_vertices.len(),
+                self.reported_missing_edges.len(),
+                self.reported_added_vertices.len(),
+                self.reported_added_edges.len(),
+            ];
+            let largest = (0..sizes.len()).max_by_key(|&i| sizes[i]).expect("six collections");
+            match largest {
+                0 => drop(self.missing_vertex_streak.pop_last()),
+                1 => drop(self.missing_edge_streak.pop_last()),
+                2 => drop(self.reported_missing_vertices.pop_last()),
+                3 => drop(self.reported_missing_edges.pop_last()),
+                4 => drop(self.reported_added_vertices.pop_last()),
+                _ => drop(self.reported_added_edges.pop_last()),
+            }
+        }
     }
 
     /// Structural comparison with episode bookkeeping: appeared elements
@@ -638,6 +705,44 @@ mod tests {
             alerts.iter().all(|a| a.kind.name() != "message_loss"),
             "halved rate must not read as loss: {alerts:?}"
         );
+    }
+
+    #[test]
+    fn episode_state_is_bounded_with_watermark() {
+        let config = MonitorConfig { max_retained_episodes: 3, ..MonitorConfig::default() };
+        let mut m = Monitor::with_config(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)), config);
+        // 5 rogue timers: 5 added vertices demand 5 episode entries.
+        let rogue: Vec<CallbackRecord> = (0..5)
+            .map(|i| {
+                rec(1, 10 + i, CallbackKind::Timer, None, &[&format!("/rogue{i}")], 1.0, 6, 100)
+            })
+            .collect();
+        let mut lists = vec![(1, rogue)];
+        lists[0].1.push(rec(1, 1, CallbackKind::Timer, None, &["/a"], 1.0, 6, 100));
+        lists.push((2, vec![rec(2, 2, CallbackKind::Subscriber, Some("/a"), &[], 2.0, 6, 100)]));
+        let noisy = dag(lists);
+        let first = m.observe(&noisy, WINDOW);
+        assert_eq!(first.len(), 1, "one topology alert covers all five: {first:?}");
+        assert!(m.retained_episodes() <= 3, "bound enforced: {}", m.retained_episodes());
+        assert_eq!(m.peak_retained_episodes(), 5, "watermark measures pre-trim demand");
+        // The evicted episodes re-report while the condition persists —
+        // bounded memory costs duplicates, never silence.
+        let second = m.observe(&noisy, WINDOW);
+        assert_eq!(second.len(), 1, "evicted episodes re-alert: {second:?}");
+        assert!(m.retained_episodes() <= 3);
+    }
+
+    #[test]
+    fn default_bound_never_trims_ordinary_monitoring() {
+        let mut m = Monitor::new(Baseline::from_dag(&chain(1.0, 2.0, 12, 100)));
+        let timer_only =
+            dag(vec![(1, vec![rec(1, 1, CallbackKind::Timer, None, &["/a"], 1.0, 6, 100)])]);
+        for _ in 0..4 {
+            m.observe(&timer_only, WINDOW);
+        }
+        assert!(m.peak_retained_episodes() > 0);
+        assert!(m.peak_retained_episodes() <= m.config().max_retained_episodes);
+        assert_eq!(m.retained_episodes(), m.peak_retained_episodes());
     }
 
     #[test]

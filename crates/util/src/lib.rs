@@ -20,6 +20,9 @@
 //!   ring (cache-line-padded atomic head/tail over a power-of-two slot
 //!   array) that carries trace-segment slabs between the collector and
 //!   synthesis threads of the pipelined path.
+//! - [`mpsc`] — sharded multi-producer lanes built from one [`spsc`]
+//!   ring per producer plus a shared park/unpark flag; the ingress
+//!   queue of a fleet shard worker (`rtms-fleet`).
 //! - [`slab`] — a tiny object pool with a lifetime-allocation counter,
 //!   the producer-side front of the segment-slab freelist.
 //!
@@ -33,12 +36,14 @@
 pub mod arcstr;
 pub mod fnv;
 pub mod fx;
+pub mod mpsc;
 pub mod slab;
 pub mod spsc;
 pub mod varint;
 
 pub use arcstr::{concat2, concat2_fmt, concat3};
 pub use fnv::fnv1a_64;
+pub use mpsc::{lanes, LaneReceiver, LaneSender};
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use slab::SlabPool;
 pub use spsc::{ring, Consumer, Producer, PushError};

@@ -50,14 +50,15 @@ const SPINS: u32 = 2000;
 /// round trip is two syscalls plus the waiter mutex, so it is reserved
 /// for genuinely idle stretches that a few timeslice donations don't
 /// bridge.
-const YIELDS: u32 = 32;
+pub(crate) const YIELDS: u32 = 32;
 
 /// The effective spin budget for this machine. Spinning only helps when
 /// the other side can make progress *concurrently* — on a single-core
 /// machine every spin burns the exact timeslice the peer needs to catch
 /// up, so the budget collapses to zero there and both sides go straight
-/// to yield (and, for the consumer, park).
-fn spin_budget() -> u32 {
+/// to yield (and, for the consumer, park). Shared with the sharded
+/// multi-producer lanes of [`crate::mpsc`], which wait the same way.
+pub(crate) fn spin_budget() -> u32 {
     static BUDGET: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
     *BUDGET.get_or_init(|| match std::thread::available_parallelism() {
         Ok(n) if n.get() > 1 => SPINS,
@@ -234,6 +235,16 @@ impl<T> Drop for Producer<T> {
 }
 
 impl<T> Consumer<T> {
+    /// Whether the producing endpoint was dropped. Elements pushed before
+    /// the disconnect may still be in the ring: a `true` here plus a
+    /// subsequent empty [`Consumer::try_pop`] means the stream is truly
+    /// drained (the producer closes *after* its final push, with release
+    /// ordering, so observing the close with acquire ordering makes every
+    /// prior push visible).
+    pub fn is_closed(&self) -> bool {
+        self.ring.closed.load(Ordering::Acquire)
+    }
+
     /// Attempts to pop without blocking. `None` means the ring is
     /// currently empty (the producer may still be alive).
     pub fn try_pop(&mut self) -> Option<T> {

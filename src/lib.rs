@@ -9,6 +9,7 @@ pub use rtms_analysis as analysis;
 pub use rtms_bench as bench;
 pub use rtms_core as synthesis;
 pub use rtms_ebpf as ebpf;
+pub use rtms_fleet as fleet;
 pub use rtms_monitor as monitor;
 pub use rtms_ros2 as ros2;
 pub use rtms_sched as sched;
