@@ -22,12 +22,27 @@ fn world() -> rtms_ros2::Ros2World {
 fn main() {
     let dur = Nanos::from_millis(2000);
     // sim only: tracers never started
-    for _ in 0..3 {
+    for i in 0..3 {
         let mut w = world();
         w.announce_nodes();
         let t = Instant::now();
         w.run_for(dur);
         println!("sim only: {:?}", t.elapsed());
+        if i == 2 {
+            let stats = w.simulator().stats();
+            println!(
+                "sim stats: {} events, {} heap pushes, {} stale pops, \
+                 {} slice arms (+{} suppressed), {} rebalances (+{} skipped), {} switches",
+                stats.events,
+                stats.heap_pushes,
+                stats.stale_pops,
+                stats.slice_arms,
+                stats.slice_suppressed,
+                stats.rebalance_runs,
+                stats.rebalance_skipped,
+                stats.switches,
+            );
+        }
     }
     // sim + tracers on, no drain until end
     for _ in 0..3 {

@@ -1,0 +1,24 @@
+//! Scratch profiling driver: repeats the default-scenario collect loop
+//! long enough for a sampling profiler to see it.
+use rtms_ros2::WorldBuilder;
+use rtms_trace::Nanos;
+use rtms_workloads::{generate_app, GeneratorConfig};
+
+fn main() {
+    let reps: u64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let apps: Vec<_> =
+        (0..2u64).map(|i| generate_app(1000 + i, &GeneratorConfig::default())).collect();
+    let mut n = 0u64;
+    for _ in 0..reps {
+        let mut b = WorldBuilder::new(4).seed(0);
+        for app in &apps {
+            b = b.app(app.clone());
+        }
+        let mut w = b.build().unwrap();
+        w.trace_segments_sequential(Nanos::from_millis(2000), Nanos::from_millis(250), |s| {
+            n += s.len() as u64;
+        });
+    }
+    println!("{n}");
+}

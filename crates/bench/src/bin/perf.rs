@@ -48,6 +48,24 @@
 //!   rollup; gated above 1 (the faulted tenants share one faulty image,
 //!   so causes must collapse).
 //!
+//! ## Scheduler columns (bench_format ≥ 5)
+//!
+//! The report's `sim` object profiles the discrete-event scheduler alone:
+//! the default scenario's world is run bare — tracers never started — and
+//! the engine's own [`rtms_sched::SimStats`] counters are reported next
+//! to the wall-clock event rate:
+//!
+//! - `sim_events_per_sec` — bare simulation throughput (fastest of
+//!   [`REPS`]), the ceiling the collect column can approach.
+//! - `events`, `heap_pushes`, `switches` — totals for the run.
+//! - `stale_pop_ratio` — `stale_pops / events`, heap churn from
+//!   invalidated slice checks. **Gated in CI** (≤ 0.05): a regression
+//!   here means timer-slot invalidation stopped working and the heap is
+//!   filling with dead events again.
+//! - `rebalance_skip_ratio` — share of scheduling passes the dirty gate
+//!   skipped; `slice_arms` / `slice_suppressed` account the slice-check
+//!   suppression the same way. Informational.
+//!
 //! ## Allocation probe (bench_format ≥ 3)
 //!
 //! The report's `alloc_probe` object proves the recycled-slab segment
@@ -181,6 +199,29 @@ struct AllocProbe {
     feeding_allocs_per_segment: f64,
 }
 
+/// Scheduler-core columns (see the module docs): the default scenario's
+/// world run bare, with the engine's own work counters.
+#[derive(Serialize)]
+struct SimPerf {
+    /// Heap events popped over the run.
+    events: u64,
+    heap_pushes: u64,
+    /// Popped events that were already invalidated. The ratio below is
+    /// the gated form.
+    stale_pops: u64,
+    slice_arms: u64,
+    slice_suppressed: u64,
+    rebalance_runs: u64,
+    rebalance_skipped: u64,
+    switches: u64,
+    /// `stale_pops / events`; gated ≤ 0.05 in CI.
+    stale_pop_ratio: f64,
+    /// `rebalance_skipped / (runs + skipped)` — the dirty gate's hit rate.
+    rebalance_skip_ratio: f64,
+    /// Bare-simulation throughput, fastest of [`REPS`] runs.
+    sim_events_per_sec: f64,
+}
+
 /// Fleet-service columns (see the module docs): the fixed 64-tenant
 /// scenario's throughput, latency percentiles, and rollup dedup ratio.
 #[derive(Serialize)]
@@ -220,6 +261,9 @@ struct Report {
     /// Steady-state allocation counts for the pipelined segment
     /// transport; `transport_allocs_steady` is gated at 0 in CI.
     alloc_probe: AllocProbe,
+    /// Bare scheduler profile of the default scenario (bench_format ≥ 5);
+    /// `stale_pop_ratio` is gated in CI.
+    sim: SimPerf,
     /// Sharded multi-tenant ingestion service columns (bench_format ≥ 4).
     fleet: FleetPerf,
 }
@@ -393,6 +437,38 @@ fn run_alloc_probe(apps: u64, args: &ExperimentArgs) -> AllocProbe {
     }
 }
 
+/// Runs the default scenario's world bare — tracers never started — and
+/// reports the scheduler engine's own work counters beside the wall-clock
+/// event rate. The counters are identical across reps (the simulation is
+/// deterministic); only the timing takes the fastest-of-[`REPS`] minimum.
+fn run_sim_perf(apps: u64, args: &ExperimentArgs) -> SimPerf {
+    let duration = args.duration();
+    let mut best_secs = f64::INFINITY;
+    let mut stats = rtms_sched::SimStats::default();
+    for _ in 0..REPS {
+        let mut w = world(apps, args.seed());
+        w.announce_nodes();
+        let t = Instant::now();
+        w.run_for(duration);
+        best_secs = best_secs.min(t.elapsed().as_secs_f64());
+        stats = w.simulator().stats();
+    }
+    let passes = stats.rebalance_runs + stats.rebalance_skipped;
+    SimPerf {
+        events: stats.events,
+        heap_pushes: stats.heap_pushes,
+        stale_pops: stats.stale_pops,
+        slice_arms: stats.slice_arms,
+        slice_suppressed: stats.slice_suppressed,
+        rebalance_runs: stats.rebalance_runs,
+        rebalance_skipped: stats.rebalance_skipped,
+        switches: stats.switches,
+        stale_pop_ratio: stats.stale_pops as f64 / stats.events.max(1) as f64,
+        rebalance_skip_ratio: stats.rebalance_skipped as f64 / passes.max(1) as f64,
+        sim_events_per_sec: stats.events as f64 / best_secs.max(1e-12),
+    }
+}
+
 /// Runs the fixed fleet scenario (64 tenants, 4 of them faulted, on 2
 /// shards) and reports its throughput/latency/dedup columns. The fastest
 /// of [`REPS`] runs is reported, like every other timed phase.
@@ -521,13 +597,14 @@ fn main() {
     }
 
     let alloc_probe = run_alloc_probe(apps, &args);
+    let sim = run_sim_perf(apps, &args);
     let fleet = run_fleet_perf(&args);
 
     let default_scenario = scenarios.iter().find(|s| s.apps == apps && s.segment_ms == 250);
     let default_e2e = default_scenario.map(|s| s.e2e_events_per_sec).unwrap_or_default();
     let default_replay = default_scenario.map(|s| s.replay_events_per_sec).unwrap_or_default();
     let report = Report {
-        bench_format: 4,
+        bench_format: 5,
         secs: args.secs(),
         apps,
         seed: args.seed(),
@@ -538,6 +615,7 @@ fn main() {
         default_replay_events_per_sec: default_replay,
         replay_over_e2e: default_replay / default_e2e.max(1e-12),
         alloc_probe,
+        sim,
         fleet,
     };
 
@@ -587,6 +665,17 @@ fn main() {
         report.alloc_probe.segments,
         report.alloc_probe.transport_allocs_total,
         report.alloc_probe.feeding_allocs_per_segment
+    );
+    println!(
+        "sim: {:.0} bare events/s, {} events ({} pushes, {} stale pops = {:.4} ratio), {:.0}% rebalances skipped, {} slice arms / {} suppressed",
+        report.sim.sim_events_per_sec,
+        report.sim.events,
+        report.sim.heap_pushes,
+        report.sim.stale_pops,
+        report.sim.stale_pop_ratio,
+        report.sim.rebalance_skip_ratio * 100.0,
+        report.sim.slice_arms,
+        report.sim.slice_suppressed
     );
     println!(
         "fleet ({} tenants / {} shards, {} faulted): {:.0} events/s, P50 {:.0} us, P99 {:.0} us, dedup {:.2}",

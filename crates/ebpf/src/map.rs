@@ -6,6 +6,7 @@ use rtms_trace::Pid;
 use rtms_util::FxHashMap;
 use std::fmt;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Error returned by map updates.
@@ -51,6 +52,10 @@ pub struct BpfMap<K, V> {
     // FxHash: map keys are PIDs and addresses, and the kernel tracer
     // consults the PID filter for every scheduler event.
     inner: Arc<RwLock<FxHashMap<K, V>>>,
+    /// Bumped on every successful mutation, so hot-path readers can cache
+    /// a lock-free snapshot of the contents and revalidate with a single
+    /// atomic load instead of taking the lock per query.
+    generation: Arc<AtomicU64>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> BpfMap<K, V> {
@@ -61,7 +66,12 @@ impl<K: Eq + Hash + Clone, V: Clone> BpfMap<K, V> {
     /// Panics if `max_entries` is zero.
     pub fn new(name: &'static str, max_entries: usize) -> Self {
         assert!(max_entries > 0, "max_entries must be positive");
-        BpfMap { name, max_entries, inner: Arc::new(RwLock::new(FxHashMap::default())) }
+        BpfMap {
+            name,
+            max_entries,
+            inner: Arc::new(RwLock::new(FxHashMap::default())),
+            generation: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The map name (as it would appear in `bpftool map list`).
@@ -86,7 +96,43 @@ impl<K: Eq + Hash + Clone, V: Clone> BpfMap<K, V> {
             return Err(MapError::Full);
         }
         m.insert(key, value);
+        // Release pairs with the Acquire in `generation()`: a reader that
+        // sees the new generation also sees the insert when it re-reads
+        // the contents.
+        self.generation.fetch_add(1, Ordering::Release);
         Ok(())
+    }
+
+    /// [`BpfMap::update`] through an exclusive handle. When this handle is
+    /// the map's only one (no clones outstanding — e.g. a tracer-private
+    /// map), the lock is provably uncontended and skipped entirely; with
+    /// clones outstanding this falls back to the locked path.
+    #[inline]
+    pub fn update_mut(&mut self, key: K, value: V) -> Result<(), MapError> {
+        let Some(lock) = Arc::get_mut(&mut self.inner) else {
+            return self.update(key, value);
+        };
+        let m = lock.get_mut();
+        if m.len() >= self.max_entries && !m.contains_key(&key) {
+            return Err(MapError::Full);
+        }
+        m.insert(key, value);
+        self.generation.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// [`BpfMap::delete`] through an exclusive handle; see
+    /// [`BpfMap::update_mut`].
+    #[inline]
+    pub fn delete_mut(&mut self, key: &K) -> Option<V> {
+        let Some(lock) = Arc::get_mut(&mut self.inner) else {
+            return self.delete(key);
+        };
+        let removed = lock.get_mut().remove(key);
+        if removed.is_some() {
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+        removed
     }
 
     /// Looks up a key.
@@ -96,7 +142,18 @@ impl<K: Eq + Hash + Clone, V: Clone> BpfMap<K, V> {
 
     /// Deletes a key, returning the previous value.
     pub fn delete(&self, key: &K) -> Option<V> {
-        self.inner.write().remove(key)
+        let removed = self.inner.write().remove(key);
+        if removed.is_some() {
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+        removed
+    }
+
+    /// Mutation counter: changes whenever the contents may have changed.
+    /// Readers that cache a snapshot of the map revalidate it by comparing
+    /// this against the generation they snapshotted at.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Whether the key is present.

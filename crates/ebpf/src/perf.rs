@@ -104,20 +104,27 @@ impl<T: PerfRecord> PerfBuffer<T> {
             total_bytes: 0,
             dropped: 0,
             pushed: 0,
-            records: Vec::new(),
+            // Skip the first few doublings of the growth chain: every
+            // active tracer fills its buffer well past this within one
+            // segment, and `drain_into` keeps the allocation thereafter.
+            records: Vec::with_capacity(1024),
         }
     }
 
     /// Pushes a record; returns `false` (and counts a drop) if the buffer
     /// lacks space.
+    #[inline]
     pub fn push(&mut self, record: T) -> bool {
         let size = record.record_size();
-        if self.used_bytes + size > self.capacity_bytes {
+        let used = self.used_bytes + size;
+        if used > self.capacity_bytes {
             self.dropped += 1;
             return false;
         }
-        self.used_bytes += size;
-        self.peak_bytes = self.peak_bytes.max(self.used_bytes);
+        self.used_bytes = used;
+        if used > self.peak_bytes {
+            self.peak_bytes = used;
+        }
         self.total_bytes += size;
         self.pushed += 1;
         self.records.push(record);

@@ -50,16 +50,23 @@ impl Ros2InitTracer {
     /// (cannot happen with the built-in program; the signature documents
     /// the load-time contract).
     pub fn new(pid_filter: PidFilterMap) -> Result<Self, Vec<VerifyError>> {
-        let program = ProgramSpec::new(Probe::P1, AttachPoint::Entry, 180)
-            .with_helpers([
-                Helper::KtimeGetNs,
-                Helper::GetCurrentPidTgid,
-                Helper::ProbeReadUser,
-                Helper::MapUpdate,
-                Helper::PerfEventOutput,
-            ])
-            .with_maps(["ros2_pids"]);
-        Verifier::default().verify_all(std::slice::from_ref(&program))?;
+        // Constant program, constant verdict: verify once per process.
+        static VERIFIED: std::sync::OnceLock<Result<(), Vec<VerifyError>>> =
+            std::sync::OnceLock::new();
+        VERIFIED
+            .get_or_init(|| {
+                let program = ProgramSpec::new(Probe::P1, AttachPoint::Entry, 180)
+                    .with_helpers([
+                        Helper::KtimeGetNs,
+                        Helper::GetCurrentPidTgid,
+                        Helper::ProbeReadUser,
+                        Helper::MapUpdate,
+                        Helper::PerfEventOutput,
+                    ])
+                    .with_maps(["ros2_pids"]);
+                Verifier::default().verify_all(std::slice::from_ref(&program))
+            })
+            .clone()?;
         Ok(Ros2InitTracer {
             enabled: false,
             pid_filter,

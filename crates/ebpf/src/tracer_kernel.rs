@@ -51,11 +51,47 @@ const KN_BUFFER_BYTES: usize = 16 << 20;
 pub struct KernelTracer {
     enabled: bool,
     filter: Option<PidFilterMap>,
+    /// Lock-free snapshot of the filter map as a PID bitmap. The handler
+    /// fires for *every* scheduler event, so paying the map's read lock
+    /// (twice, for a switch) per event dominates the handler; the bitmap
+    /// answers with one shift and is revalidated against the map's
+    /// generation counter with a single atomic load.
+    filter_cache: FilterCache,
     record_wakeups: bool,
     perf: PerfBuffer<SchedEvent>,
     overhead: OverheadModel,
     seen: u64,
     exported: u64,
+}
+
+/// See [`KernelTracer::filter_cache`].
+#[derive(Debug, Default)]
+struct FilterCache {
+    /// Map generation the bitmap was built at; `None` until the first
+    /// query builds it.
+    generation: Option<u64>,
+    bits: Vec<u64>,
+}
+
+impl FilterCache {
+    /// Brings the bitmap up to date with `map` (cheap no-op when the
+    /// generation is unchanged) and tests `pid`.
+    fn contains(&mut self, map: &PidFilterMap, pid: rtms_trace::Pid) -> bool {
+        let generation = map.generation();
+        if self.generation != Some(generation) {
+            self.generation = Some(generation);
+            self.bits.clear();
+            for key in map.keys() {
+                let (word, bit) = (key.get() as usize / 64, key.get() % 64);
+                if self.bits.len() <= word {
+                    self.bits.resize(word + 1, 0);
+                }
+                self.bits[word] |= 1u64 << bit;
+            }
+        }
+        let (word, bit) = (pid.get() as usize / 64, pid.get() % 64);
+        self.bits.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
 }
 
 impl KernelTracer {
@@ -68,26 +104,36 @@ impl KernelTracer {
     /// Returns the verifier's findings if the tracepoint program is
     /// rejected.
     pub fn new(filter: Option<PidFilterMap>) -> Result<Self, Vec<VerifyError>> {
-        let mut program = ProgramSpec::new(Probe::SchedSwitch, AttachPoint::Entry, 260)
-            .with_helpers([
-                Helper::KtimeGetNs,
-                Helper::ProbeReadKernel,
-                Helper::PerfEventOutput,
-            ]);
-        if filter.is_some() {
-            program = program
-                .with_helpers([
-                    Helper::KtimeGetNs,
-                    Helper::ProbeReadKernel,
-                    Helper::MapLookup,
-                    Helper::PerfEventOutput,
-                ])
-                .with_maps(["ros2_pids"]);
-        }
-        Verifier::default().verify_all(std::slice::from_ref(&program))?;
+        // Two constant program variants (filtering on/off), two constant
+        // verdicts: verify each once per process.
+        static VERIFIED: [std::sync::OnceLock<Result<(), Vec<VerifyError>>>; 2] =
+            [std::sync::OnceLock::new(), std::sync::OnceLock::new()];
+        let filtered = filter.is_some();
+        VERIFIED[usize::from(filtered)]
+            .get_or_init(|| {
+                let mut program = ProgramSpec::new(Probe::SchedSwitch, AttachPoint::Entry, 260)
+                    .with_helpers([
+                        Helper::KtimeGetNs,
+                        Helper::ProbeReadKernel,
+                        Helper::PerfEventOutput,
+                    ]);
+                if filtered {
+                    program = program
+                        .with_helpers([
+                            Helper::KtimeGetNs,
+                            Helper::ProbeReadKernel,
+                            Helper::MapLookup,
+                            Helper::PerfEventOutput,
+                        ])
+                        .with_maps(["ros2_pids"]);
+                }
+                Verifier::default().verify_all(std::slice::from_ref(&program))
+            })
+            .clone()?;
         Ok(KernelTracer {
             enabled: false,
             filter,
+            filter_cache: FilterCache::default(),
             record_wakeups: false,
             perf: PerfBuffer::new(KN_BUFFER_BYTES),
             overhead: OverheadModel::new(),
@@ -121,17 +167,18 @@ impl KernelTracer {
             return;
         }
         self.seen += 1;
+        let cache = &mut self.filter_cache;
         let (is_wakeup, matches) = match &event.kind {
             SchedEventKind::Switch { prev_pid, next_pid, .. } => {
                 let m = match &self.filter {
-                    Some(f) => f.contains(prev_pid) || f.contains(next_pid),
+                    Some(f) => cache.contains(f, *prev_pid) || cache.contains(f, *next_pid),
                     None => true,
                 };
                 (false, m)
             }
             SchedEventKind::Wakeup { pid, .. } => {
                 let m = match &self.filter {
-                    Some(f) => f.contains(pid),
+                    Some(f) => cache.contains(f, *pid),
                     None => true,
                 };
                 (true, m)

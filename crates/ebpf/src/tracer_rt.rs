@@ -54,7 +54,12 @@ impl Ros2RtTracer {
     ///
     /// Returns the verifier's findings if any program is rejected.
     pub fn new() -> Result<Self, Vec<VerifyError>> {
-        Verifier::default().verify_all(&Self::programs())?;
+        // The program set is a compile-time constant, so its load-time
+        // verification result is too: verify once per process instead of
+        // rebuilding and re-walking all fifteen specs for every world.
+        static VERIFIED: std::sync::OnceLock<Result<(), Vec<VerifyError>>> =
+            std::sync::OnceLock::new();
+        VERIFIED.get_or_init(|| Verifier::default().verify_all(&Self::programs())).clone()?;
         Ok(Ros2RtTracer {
             enabled: false,
             inflight_take: BpfMap::new("inflight_take", 4096),
@@ -238,7 +243,9 @@ impl Ros2RtTracer {
     fn take_entry(&mut self, probe: Probe, pid: Pid, src_ts: &SrcTsRef) {
         self.overhead.charge(probe, 3);
         debug_assert!(src_ts.value.is_none(), "srcTS has no value at entry");
-        let _ = self.inflight_take.update(pid, src_ts.addr);
+        // The map is tracer-private, so `update_mut` takes the lock-free
+        // exclusive path — this runs three times per delivered message.
+        let _ = self.inflight_take.update_mut(pid, src_ts.addr);
     }
 
     /// Exit half: look up the stored address and read the pointee.
@@ -249,7 +256,7 @@ impl Ros2RtTracer {
         src_ts: &SrcTsRef,
     ) -> Option<rtms_trace::SourceTimestamp> {
         self.overhead.charge(probe, 6);
-        let stored = self.inflight_take.delete(&pid)?;
+        let stored = self.inflight_take.delete_mut(&pid)?;
         if stored != src_ts.addr {
             // The address we stored does not match this call frame: a
             // nested or unmatched take. Drop the sample rather than attach

@@ -28,6 +28,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtms_trace::{CallbackId, Nanos, Pid, SourceTimestamp, Topic};
+use rtms_util::FxHashMap;
 use std::collections::VecDeque;
 
 /// Quality-of-service knobs of a DDS domain, applied to plain topics.
@@ -86,6 +87,12 @@ pub struct Sample {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReaderId(usize);
 
+impl ReaderId {
+    pub(crate) fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// A queued sample with its delivery rank: `rank = write seq + offset`
 /// with `offset in [0, reorder_bound]`, so ordering by `(rank, seq)`
 /// structurally bounds how many newer samples can overtake an older one.
@@ -98,8 +105,11 @@ struct QueuedSample {
 #[derive(Debug)]
 struct Reader {
     pid: Pid,
-    topic: Topic,
+    // The subscribed topic is not stored here: routing goes through
+    // `DdsDomain::topic_readers`, which holds it as the key.
     queue: VecDeque<QueuedSample>,
+    /// Index of this reader's pid in [`DdsDomain::ready`].
+    slot: usize,
 }
 
 /// The DDS domain: topic-based sample routing with delivery latency and
@@ -127,6 +137,18 @@ pub struct DdsDomain {
     rng: StdRng,
     readers: Vec<Reader>,
     next_src_ts: u64,
+    /// Per owning pid: the ids of this pid's readers currently holding at
+    /// least one (possibly not-yet-arrived) sample, sorted ascending.
+    /// Maintained by `write_lossy_into` (insert into empty queue) and
+    /// `pop_due` (pop to empty), so executors visit only readers with
+    /// work instead of scanning every callback.
+    ready: Vec<Vec<u32>>,
+    pid_slots: FxHashMap<Pid, usize>,
+    /// Reader ids per topic, in registration (= id) order. `write_lossy_into`
+    /// walks only a topic's own readers instead of scanning the whole
+    /// domain per publish; registration order keeps the per-reader RNG
+    /// draws (drop, jitter, reorder) in exactly the full-scan sequence.
+    topic_readers: FxHashMap<Topic, Vec<u32>>,
 }
 
 impl DdsDomain {
@@ -145,6 +167,9 @@ impl DdsDomain {
             rng: StdRng::seed_from_u64(seed),
             readers: Vec::new(),
             next_src_ts: 1,
+            ready: Vec::new(),
+            pid_slots: FxHashMap::default(),
+            topic_readers: FxHashMap::default(),
         }
     }
 
@@ -160,8 +185,15 @@ impl DdsDomain {
 
     /// Registers a reader of `topic` owned by the executor thread `pid`.
     pub fn create_reader(&mut self, pid: Pid, topic: Topic) -> ReaderId {
-        self.readers.push(Reader { pid, topic, queue: VecDeque::new() });
-        ReaderId(self.readers.len() - 1)
+        let next_slot = self.ready.len();
+        let slot = *self.pid_slots.entry(pid).or_insert(next_slot);
+        if slot == next_slot {
+            self.ready.push(Vec::new());
+        }
+        let id = self.readers.len() as u32;
+        self.topic_readers.entry(topic).or_default().push(id);
+        self.readers.push(Reader { pid, queue: VecDeque::new(), slot });
+        ReaderId(id as usize)
     }
 
     /// Writes a sample to `topic` at time `now`.
@@ -213,10 +245,12 @@ impl DdsDomain {
         // QoS degrades plain topics only; service traffic stays reliable.
         let plain = !topic.is_service_request() && !topic.is_service_response();
         let best_effort = plain && self.qos.reorder_bound >= 1;
-        for reader in &mut self.readers {
-            if &reader.topic != topic {
-                continue;
-            }
+        let Some(ids) = self.topic_readers.get(topic) else {
+            return src_ts; // no subscribers: the write still stamps a ts
+        };
+        for &ri in ids {
+            let ri = ri as usize;
+            let reader = &mut self.readers[ri];
             let mut drop_prob = extra_drop;
             if best_effort && self.qos.drop_prob > 0.0 {
                 drop_prob = 1.0 - (1.0 - drop_prob) * (1.0 - self.qos.drop_prob);
@@ -236,6 +270,7 @@ impl DdsDomain {
             // Insert sorted by (rank, seq); seq strictly increases, so
             // scanning ranks from the back keeps the order stable.
             let q = &mut reader.queue;
+            let was_empty = q.is_empty();
             let mut at = q.len();
             while at > 0 && q[at - 1].rank > rank {
                 at -= 1;
@@ -247,6 +282,11 @@ impl DdsDomain {
                     sample: Sample { topic: topic.clone(), src_ts, arrival, rpc_target },
                 },
             );
+            if was_empty {
+                let list = &mut self.ready[reader.slot];
+                let pos = list.binary_search(&(ri as u32)).unwrap_err();
+                list.insert(pos, ri as u32);
+            }
             wakes.push((reader.pid, arrival));
         }
         src_ts
@@ -258,9 +298,69 @@ impl DdsDomain {
     pub fn pop_due(&mut self, reader: ReaderId, now: Nanos) -> Option<Sample> {
         let r = &mut self.readers[reader.0];
         match r.queue.front() {
-            Some(front) if front.sample.arrival <= now => r.queue.pop_front().map(|q| q.sample),
+            Some(front) if front.sample.arrival <= now => {
+                let sample = r.queue.pop_front().map(|q| q.sample);
+                if r.queue.is_empty() {
+                    let list = &mut self.ready[r.slot];
+                    let pos = list.binary_search(&(reader.0 as u32)).expect("drained reader listed");
+                    list.remove(pos);
+                }
+                sample
+            }
             _ => None,
         }
+    }
+
+    /// The lowest-id reader owned by `pid` currently holding at least one
+    /// sample (arrived or still in flight), restricted to ids strictly
+    /// greater than `after`.
+    ///
+    /// Reader ids are handed out in registration order, so for an executor
+    /// whose readers were registered in callback order this walks due work
+    /// in exactly the order a full callback scan would visit it — without
+    /// touching the (typically empty) rest.
+    pub fn next_ready_reader(&self, pid: Pid, after: Option<ReaderId>) -> Option<ReaderId> {
+        let slot = *self.pid_slots.get(&pid)?;
+        let list = &self.ready[slot];
+        let start = match after {
+            None => 0,
+            Some(r) => match list.binary_search(&(r.0 as u32)) {
+                Ok(pos) => pos + 1,
+                Err(pos) => pos,
+            },
+        };
+        list.get(start).map(|&r| ReaderId(r as usize))
+    }
+
+    /// The ready-list slot assigned to `pid`, if any reader was ever
+    /// registered under it. Slots are assigned at reader creation and
+    /// never move, so an executor may cache the result across polls —
+    /// and skip the reader walk entirely for a node with no readers.
+    pub fn pid_slot(&self, pid: Pid) -> Option<usize> {
+        self.pid_slots.get(&pid).copied()
+    }
+
+    /// One slot-addressed polling step: the next ready reader strictly
+    /// after `after`, paired with whether its front sample has arrived by
+    /// `now`. Combines [`DdsDomain::next_ready_reader`] and
+    /// [`DdsDomain::has_due`] so the executor's hot loop pays one domain
+    /// borrow per visited reader instead of two.
+    pub fn next_ready_due_at(
+        &self,
+        slot: usize,
+        after: Option<ReaderId>,
+        now: Nanos,
+    ) -> Option<(ReaderId, bool)> {
+        let list = &self.ready[slot];
+        let start = match after {
+            None => 0,
+            Some(r) => match list.binary_search(&(r.0 as u32)) {
+                Ok(pos) => pos + 1,
+                Err(pos) => pos,
+            },
+        };
+        let rid = ReaderId(*list.get(start)? as usize);
+        Some((rid, self.has_due(rid, now)))
     }
 
     /// Whether `reader`'s front sample has arrived by `now`.

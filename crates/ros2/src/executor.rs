@@ -29,6 +29,8 @@ use rtms_ebpf::{FunctionArgs, FunctionCall, SrcTsRef};
 use rtms_sched::{Op, SimCtx, ThreadLogic};
 use rtms_trace::{CallbackId, Nanos, Pid, Topic};
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 /// Per-callback runtime state inside an executor.
@@ -113,10 +115,31 @@ pub struct NodeExecutor {
     world: Rc<RefCell<WorldState>>,
     core: Rc<RefCell<ExecCore>>,
     rank: usize,
+    /// The node's primary (reader-owning) pid: readers are registered
+    /// under it, so every worker polls its due lists.
+    poll_pid: Pid,
     current: Option<Current>,
     /// Scratch for the wakeups accumulated while finishing an instance,
     /// reused across instances so the publish path never allocates.
     wakes: Vec<(Pid, Nanos)>,
+    /// Min-heap of `(next_fire, cb index)` over this worker's claimable
+    /// timers. Entries a *different* worker advanced (reentrant groups) go
+    /// stale — but `next_fire` only ever increases, so a stale entry
+    /// surfaces early and is lazily repaired at the top; the true earliest
+    /// deadline is never hidden. One entry per timer, always.
+    timers: BinaryHeap<Reverse<(Nanos, usize)>>,
+    /// `(reader id, cb index)` for this worker's claimable reader-backed
+    /// callbacks, sorted by reader id — the map from the DDS router's due
+    /// lists back to callbacks.
+    reader_cb: Vec<(usize, usize)>,
+    /// The DDS ready-list slot of `poll_pid`, cached at init (slots never
+    /// move); `None` when the node has no readers at all, which skips the
+    /// reader walk outright.
+    dds_slot: Option<usize>,
+    /// Lazily filled on the first poll (the core is fully built by then).
+    init_done: bool,
+    /// Use the pre-indexing full-scan polling loop (differential oracle).
+    reference: bool,
 }
 
 impl NodeExecutor {
@@ -124,8 +147,46 @@ impl NodeExecutor {
         world: Rc<RefCell<WorldState>>,
         core: Rc<RefCell<ExecCore>>,
         rank: usize,
+        poll_pid: Pid,
+        reference: bool,
     ) -> Self {
-        NodeExecutor { world, core, rank, current: None, wakes: Vec::new() }
+        NodeExecutor {
+            world,
+            core,
+            rank,
+            poll_pid,
+            current: None,
+            wakes: Vec::new(),
+            timers: BinaryHeap::new(),
+            reader_cb: Vec::new(),
+            dds_slot: None,
+            init_done: false,
+            reference,
+        }
+    }
+
+    /// Indexes the core's callbacks for this worker: claimable timers into
+    /// the deadline heap, claimable readers into the reader→callback map.
+    /// Claims are static after build (group pinning never changes), so
+    /// non-claimable callbacks are filtered out here once.
+    fn ensure_init(&mut self, core: &ExecCore) {
+        if self.init_done {
+            return;
+        }
+        self.init_done = true;
+        for (i, cb) in core.cbs.iter().enumerate() {
+            if !core.claims(self.rank, i) {
+                continue;
+            }
+            match &cb.detail {
+                CbDetail::Timer { next_fire, .. } => self.timers.push(Reverse((*next_fire, i))),
+                CbDetail::Subscriber { reader, .. }
+                | CbDetail::Service { reader, .. }
+                | CbDetail::Client { reader } => self.reader_cb.push((reader.index(), i)),
+            }
+        }
+        self.reader_cb.sort_unstable();
+        self.dds_slot = self.world.borrow().dds.pid_slot(self.poll_pid);
     }
 
     /// Finishes the instance whose compute just completed: performs its
@@ -400,13 +461,109 @@ impl NodeExecutor {
             None
         }
     }
-}
 
-impl ThreadLogic for NodeExecutor {
-    fn next_op(&mut self, ctx: &mut SimCtx<'_>) -> Op {
-        if let Some(cur) = self.current.take() {
-            self.finish(ctx, cur);
+    /// Event-driven polling: visits only ready work. Expired timers come
+    /// off the deadline heap, delivered samples off the DDS router's
+    /// per-node due list. Matches the reference scan's dispatch order
+    /// exactly: timers by `(next_fire, idx)` (the heap key), then readers
+    /// in ascending reader-id order — which equals callback registration
+    /// order, because readers are created in callback order at build.
+    fn next_op_indexed(&mut self, ctx: &mut SimCtx<'_>) -> Op {
+        let core_rc = Rc::clone(&self.core);
+        loop {
+            let mut core = core_rc.borrow_mut();
+            let core = &mut *core;
+            let now = ctx.now();
+            self.ensure_init(core);
+            // 1. Expired claimable timers, earliest deadline first. A top
+            //    entry another worker advanced (reentrant group) is
+            //    repaired in place; `next_fire` only grows, so stale
+            //    entries are stale-low — they surface at the top before
+            //    they could ever mask the true earliest deadline.
+            while let Some(&Reverse((fire, idx))) = self.timers.peek() {
+                let actual = match core.cbs[idx].detail {
+                    CbDetail::Timer { next_fire, .. } => next_fire,
+                    _ => unreachable!("non-timer in deadline heap"),
+                };
+                if fire != actual {
+                    self.timers.pop();
+                    self.timers.push(Reverse((actual, idx)));
+                    continue;
+                }
+                if fire > now {
+                    break;
+                }
+                self.timers.pop();
+                let op = self.begin_timer(ctx, core, idx);
+                let advanced = match core.cbs[idx].detail {
+                    CbDetail::Timer { next_fire, .. } => next_fire,
+                    _ => unreachable!("non-timer in deadline heap"),
+                };
+                self.timers.push(Reverse((advanced, idx)));
+                return op;
+            }
+            // 2. Delivered samples for claimable callbacks, walking only
+            //    the due list the DDS router maintains for this node.
+            let mut client_handled = false;
+            let mut started: Option<Op> = None;
+            let mut cursor = None;
+            while let Some(slot) = self.dds_slot {
+                let next = {
+                    let w = self.world.borrow();
+                    w.dds.next_ready_due_at(slot, cursor, now)
+                };
+                let Some((rid, due)) = next else { break };
+                cursor = Some(rid);
+                // Workers share the node's due list; readers claimed by
+                // another worker are simply absent from our map.
+                let Ok(pos) = self.reader_cb.binary_search_by_key(&rid.index(), |&(r, _)| r)
+                else {
+                    continue;
+                };
+                let idx = self.reader_cb[pos].1;
+                // Queued is not delivered: the head sample may still be
+                // in DDS flight, in which case the reference scan skips
+                // this callback too.
+                if !due {
+                    continue;
+                }
+                match core.cbs[idx].detail {
+                    CbDetail::Subscriber { .. } => {
+                        started = Some(self.begin_subscriber(ctx, core, idx));
+                    }
+                    CbDetail::Service { .. } => {
+                        started = Some(self.begin_service(ctx, core, idx));
+                    }
+                    CbDetail::Client { .. } => match self.begin_client(ctx, core, idx) {
+                        Some(op) => started = Some(op),
+                        None => {
+                            // Undispatched response consumed: rescan.
+                            client_handled = true;
+                        }
+                    },
+                    CbDetail::Timer { .. } => unreachable!("timers are not readers"),
+                }
+                if started.is_some() {
+                    break;
+                }
+            }
+            if let Some(op) = started {
+                return op;
+            }
+            if client_handled {
+                continue; // consumed a non-dispatched response; look again
+            }
+            // 3. Nothing ready: wait on the wait-set, bounded by the next
+            //    claimable timer deadline — the heap top, which the repair
+            //    loop above left accurate.
+            return Op::Block { until: self.timers.peek().map(|&Reverse((fire, _))| fire) };
         }
+    }
+
+    /// The pre-indexing polling loop: a full scan over every callback for
+    /// due timers, due samples, and the next deadline. Kept verbatim as
+    /// the differential-testing oracle.
+    fn next_op_reference(&mut self, ctx: &mut SimCtx<'_>) -> Op {
         let core_rc = Rc::clone(&self.core);
         loop {
             let mut core = core_rc.borrow_mut();
@@ -490,6 +647,19 @@ impl ThreadLogic for NodeExecutor {
                 })
                 .min();
             return Op::Block { until: next_deadline };
+        }
+    }
+}
+
+impl ThreadLogic for NodeExecutor {
+    fn next_op(&mut self, ctx: &mut SimCtx<'_>) -> Op {
+        if let Some(cur) = self.current.take() {
+            self.finish(ctx, cur);
+        }
+        if self.reference {
+            self.next_op_reference(ctx)
+        } else {
+            self.next_op_indexed(ctx)
         }
     }
 }

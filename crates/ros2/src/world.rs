@@ -191,6 +191,7 @@ pub struct WorldBuilder {
     filtered_kernel: bool,
     record_wakeups: bool,
     faults: FaultPlan,
+    reference_engine: bool,
 }
 
 impl WorldBuilder {
@@ -207,6 +208,7 @@ impl WorldBuilder {
             filtered_kernel: true,
             record_wakeups: false,
             faults: FaultPlan::new(),
+            reference_engine: false,
         }
     }
 
@@ -263,6 +265,15 @@ impl WorldBuilder {
     /// measurement of Sec. VII. Off by default, as in the paper.
     pub fn record_wakeups(mut self) -> Self {
         self.record_wakeups = true;
+        self
+    }
+
+    /// Runs the world on the pre-indexing scheduler and executor paths
+    /// (linear rebalance, heap-resident slice checks, full callback
+    /// scans). The differential suites pin the indexed engine's event
+    /// stream byte-identical to this one.
+    pub fn reference_engine(mut self) -> Self {
+        self.reference_engine = true;
         self
     }
 
@@ -400,6 +411,9 @@ impl WorldBuilder {
         }));
 
         let mut sched = SimulatorBuilder::new(self.cpus).timeslice(self.timeslice);
+        if self.reference_engine {
+            sched = sched.reference_engine();
+        }
         let mut node_pids: Vec<(String, Pid)> = Vec::new();
         let mut next_cb_id: u64 = 1;
 
@@ -534,7 +548,13 @@ impl WorldBuilder {
                 let core = Rc::new(RefCell::new(ExecCore { cbs, syncs, owner }));
                 let mut worker_pids = Vec::with_capacity(workers);
                 for rank in 0..workers {
-                    let logic = NodeExecutor::new(Rc::clone(&world), Rc::clone(&core), rank);
+                    let logic = NodeExecutor::new(
+                        Rc::clone(&world),
+                        Rc::clone(&core),
+                        rank,
+                        pid,
+                        self.reference_engine,
+                    );
                     let thread_name = if rank == 0 {
                         node.name.clone()
                     } else {

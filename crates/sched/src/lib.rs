@@ -41,4 +41,4 @@ pub mod simulator;
 
 pub use loadgen::{PeriodicLoad, ScriptedLogic};
 pub use logic::{Op, SimCtx, ThreadLogic};
-pub use simulator::{Affinity, SchedSink, Simulator, SimulatorBuilder};
+pub use simulator::{Affinity, SchedSink, SimStats, Simulator, SimulatorBuilder};

@@ -4,7 +4,7 @@ use crate::logic::{Op, SimCtx, ThreadLogic};
 use rtms_trace::{Cpu, Nanos, Pid, Priority, SchedEvent, ThreadState};
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -102,8 +102,16 @@ struct Thread {
     gen: u64,
     /// Latched wakeup (signal arrived while not blocked).
     pending_wake: bool,
-    /// FIFO tiebreak among equal priorities.
+    /// FIFO tiebreak among equal priorities (reference engine only; the
+    /// indexed runqueue encodes this order positionally).
     ready_seq: u64,
+    /// Runqueue bucket for this thread's priority (0 = highest), assigned
+    /// at build time from the distinct spawned priorities.
+    bucket: u32,
+    /// Whether any *other* spawned thread has priority >= this one's. When
+    /// false, the slice-check contender test can never succeed, so arming
+    /// the check is elided entirely (see `arm_slice`).
+    contended: bool,
     /// Last CPU the thread ran on (for wakeup event attribution).
     last_cpu: Cpu,
     cpu_time: Nanos,
@@ -138,6 +146,126 @@ impl PartialOrd for Ev {
     }
 }
 
+/// Which scheduling core drives the event loop.
+///
+/// Both engines emit byte-identical `SchedEvent` streams; the reference
+/// engine exists as a living oracle for the differential suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Priority-bucketed runqueue, dirty-gated rebalance, per-CPU virtual
+    /// slice slots. The default.
+    Indexed,
+    /// The pre-indexing algorithm: linear ready-list scans, an
+    /// unconditional clone+sort rebalance after every event, and slice
+    /// checks armed through the event heap.
+    Reference,
+}
+
+/// A pending round-robin slice check, held out of the event heap in a
+/// per-CPU slot. `seq` comes from the same counter as heap events, so
+/// comparing `(time, seq)` against the heap top reproduces the exact pop
+/// order the heap-armed reference engine sees.
+#[derive(Debug, Clone, Copy)]
+struct SliceSlot {
+    time: Nanos,
+    seq: u64,
+    pid: Pid,
+    gen: u64,
+}
+
+/// Priority-indexed FIFO runqueue: one `VecDeque` of thread indices per
+/// distinct priority (bucket 0 is the highest priority), plus a bitmask of
+/// non-empty buckets so scans skip empty levels in O(words).
+///
+/// Within a bucket, push order is ready order — threads are pushed exactly
+/// where the reference engine assigns a fresh monotonic `ready_seq`, so
+/// FIFO-within-bucket reproduces `(prio desc, ready_seq asc)` selection
+/// without any per-thread sequence numbers.
+struct RunQueue {
+    buckets: Vec<VecDeque<u32>>,
+    mask: Vec<u64>,
+    len: usize,
+}
+
+impl RunQueue {
+    fn new(num_buckets: usize) -> Self {
+        RunQueue {
+            buckets: vec![VecDeque::new(); num_buckets],
+            mask: vec![0u64; num_buckets.div_ceil(64).max(1)],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, bucket: usize, thread: u32) {
+        self.buckets[bucket].push_back(thread);
+        self.mask[bucket / 64] |= 1 << (bucket % 64);
+        self.len += 1;
+    }
+
+    fn remove_at(&mut self, bucket: usize, pos: usize) -> u32 {
+        let t = self.buckets[bucket].remove(pos).expect("runqueue position valid");
+        if self.buckets[bucket].is_empty() {
+            self.mask[bucket / 64] &= !(1 << (bucket % 64));
+        }
+        self.len -= 1;
+        t
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index of the first non-empty bucket at or after `from`.
+    fn first_from(&self, from: usize) -> Option<usize> {
+        let mut w = from / 64;
+        if w >= self.mask.len() {
+            return None;
+        }
+        let mut word = self.mask[w] & !((1u64 << (from % 64)) - 1);
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= self.mask.len() {
+                return None;
+            }
+            word = self.mask[w];
+        }
+    }
+}
+
+/// Counters describing the work the discrete-event engine performed.
+///
+/// Snapshot them with [`Simulator::stats`]; all counters are cumulative
+/// since the simulator was built. `rebalance_skipped / events` measures how
+/// often the dirty gate saved a scheduling pass, and `stale_pops / events`
+/// tracks heap churn from invalidated timer events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Events processed by the main loop (heap pops plus virtual slice
+    /// slots fired).
+    pub events: u64,
+    /// Events pushed onto the binary heap.
+    pub heap_pushes: u64,
+    /// Popped events that were stale (the thread was descheduled after the
+    /// event was armed) and did nothing.
+    pub stale_pops: u64,
+    /// Round-robin slice checks armed (slot writes, or heap pushes on the
+    /// reference engine).
+    pub slice_arms: u64,
+    /// Slice-check arms elided because no other thread can ever contend at
+    /// the running thread's priority or above.
+    pub slice_suppressed: u64,
+    /// Scheduling passes that actually ran.
+    pub rebalance_runs: u64,
+    /// Scheduling passes skipped because the ready/running sets were
+    /// unchanged since the last pass.
+    pub rebalance_skipped: u64,
+    /// Context switches emitted.
+    pub switches: u64,
+}
+
 /// Builds a [`Simulator`]: configure core count and timeslice, then spawn
 /// threads.
 pub struct SimulatorBuilder {
@@ -145,6 +273,7 @@ pub struct SimulatorBuilder {
     timeslice: Nanos,
     first_pid: u32,
     threads: Vec<Thread>,
+    reference: bool,
 }
 
 impl SimulatorBuilder {
@@ -160,7 +289,20 @@ impl SimulatorBuilder {
             timeslice: Nanos::from_millis(1),
             first_pid: 1000,
             threads: Vec::new(),
+            reference: false,
         }
+    }
+
+    /// Selects the pre-indexing reference engine: linear ready-list scans,
+    /// an unconditional rebalance after every event, and slice checks armed
+    /// through the event heap.
+    ///
+    /// The emitted `SchedEvent` stream is byte-identical to the default
+    /// indexed engine — the differential suites use this path as the
+    /// oracle the optimized engine is pinned against.
+    pub fn reference_engine(mut self) -> Self {
+        self.reference = true;
+        self
     }
 
     /// Sets the round-robin timeslice among equal-priority threads
@@ -200,6 +342,8 @@ impl SimulatorBuilder {
             gen: 0,
             pending_wake: false,
             ready_seq: 0,
+            bucket: 0,
+            contended: true,
             last_cpu: Cpu::new(0),
             cpu_time: Nanos::ZERO,
             logic: Some(logic),
@@ -210,13 +354,39 @@ impl SimulatorBuilder {
     /// Finalizes the machine.
     pub fn build(self) -> Simulator {
         let cpus = self.cpus;
-        let mut ready_ctr = 0u64;
         let mut threads = self.threads;
-        let mut ready = Vec::new();
+        // The distinct spawned priorities, highest first, define the
+        // runqueue buckets. Priorities are fixed for a thread's lifetime,
+        // so this mapping never changes after build.
+        let mut bucket_prios: Vec<Priority> = threads.iter().map(|t| t.prio).collect();
+        bucket_prios.sort_by_key(|&p| Reverse(p));
+        bucket_prios.dedup();
+        let mut bucket_counts = vec![0u32; bucket_prios.len()];
         for t in &mut threads {
-            t.ready_seq = ready_ctr;
-            ready_ctr += 1;
-            ready.push(t.pid);
+            let b = bucket_prios.iter().position(|&p| p == t.prio).expect("prio has a bucket");
+            t.bucket = b as u32;
+            bucket_counts[b] += 1;
+        }
+        // A thread is uncontended when no other thread has priority >= its
+        // own: nothing can ever preempt it at a slice boundary, so slice
+        // checks need not be armed for it. Affinity is ignored here — that
+        // only makes the flag conservative.
+        for t in &mut threads {
+            t.contended = t.bucket > 0 || bucket_counts[t.bucket as usize] > 1;
+        }
+        let engine = if self.reference { Engine::Reference } else { Engine::Indexed };
+        let mut ready_ctr = 0u64;
+        let mut ready = Vec::new();
+        let mut runqueue = RunQueue::new(bucket_prios.len());
+        for (i, t) in threads.iter_mut().enumerate() {
+            match engine {
+                Engine::Indexed => runqueue.push(t.bucket as usize, i as u32),
+                Engine::Reference => {
+                    t.ready_seq = ready_ctr;
+                    ready_ctr += 1;
+                    ready.push(t.pid);
+                }
+            }
         }
         Simulator {
             now: Nanos::ZERO,
@@ -225,6 +395,11 @@ impl SimulatorBuilder {
             running: vec![None; cpus],
             last_running: vec![Pid::IDLE; cpus],
             ready,
+            runqueue,
+            bucket_prios,
+            slice_slots: vec![None; cpus],
+            dirty: true,
+            engine,
             queue: BinaryHeap::new(),
             seq: 0,
             ready_ctr,
@@ -234,6 +409,7 @@ impl SimulatorBuilder {
             sinks: Vec::new(),
             busy: vec![Nanos::ZERO; cpus],
             switch_count: 0,
+            stats: SimStats::default(),
         }
     }
 }
@@ -251,7 +427,19 @@ pub struct Simulator {
     /// Per-CPU thread observed at the last event flush, for diff-based
     /// `sched_switch` emission.
     last_running: Vec<Pid>,
+    /// Ready list of the reference engine (unused by the indexed engine).
     ready: Vec<Pid>,
+    /// Priority-bucketed ready queue of the indexed engine.
+    runqueue: RunQueue,
+    /// Priority of each runqueue bucket (descending), for the preemption
+    /// early-out.
+    bucket_prios: Vec<Priority>,
+    /// Per-CPU pending slice check (indexed engine; never in the heap).
+    slice_slots: Vec<Option<SliceSlot>>,
+    /// Set whenever the ready or running sets change; a scheduling pass is
+    /// only needed while this holds (indexed engine).
+    dirty: bool,
+    engine: Engine,
     queue: BinaryHeap<Reverse<Ev>>,
     seq: u64,
     ready_ctr: u64,
@@ -261,6 +449,7 @@ pub struct Simulator {
     sinks: Vec<Box<dyn SchedSink>>,
     busy: Vec<Nanos>,
     switch_count: u64,
+    stats: SimStats,
 }
 
 impl Simulator {
@@ -333,13 +522,90 @@ impl Simulator {
         self.switch_count
     }
 
+    /// A snapshot of the engine's work counters (cumulative since build).
+    pub fn stats(&self) -> SimStats {
+        SimStats { switches: self.switch_count, ..self.stats }
+    }
+
     /// Runs the simulation up to (and including) time `until`.
     ///
     /// May be called repeatedly with increasing deadlines; time never moves
     /// backwards.
     pub fn run_until(&mut self, until: Nanos) {
+        match self.engine {
+            Engine::Indexed => self.run_until_indexed(until),
+            Engine::Reference => self.run_until_reference(until),
+        }
+        // Account partial runtimes up to the horizon.
+        self.now = until.max(self.now);
+        for cpu in 0..self.running.len() {
+            if let Some(pid) = self.running[cpu] {
+                self.account_runtime(pid);
+            }
+        }
+    }
+
+    fn run_until_indexed(&mut self, until: Nanos) {
+        // Initial placement of the ready threads spawned at build time
+        // (dirty holds after build; on a resume of a stable machine the
+        // pass is skipped).
+        self.rebalance_if_dirty();
+
+        loop {
+            // The next event is the min of `(time, seq)` over the heap top
+            // and the per-CPU virtual slice slots. Slot seqs come from the
+            // same counter as heap seqs, so this is exactly the pop order
+            // of the reference engine's single heap.
+            let heap_key = self.queue.peek().map(|&Reverse(ev)| (ev.time, ev.seq));
+            let mut slot_best: Option<(Nanos, u64, usize)> = None;
+            for (c, slot) in self.slice_slots.iter().enumerate() {
+                if let Some(s) = slot {
+                    if slot_best.is_none_or(|(t, q, _)| (s.time, s.seq) < (t, q)) {
+                        slot_best = Some((s.time, s.seq, c));
+                    }
+                }
+            }
+            let use_slot = match (heap_key, slot_best) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                (Some((ht, hs)), Some((st, ss, _))) => (st, ss) < (ht, hs),
+            };
+            if use_slot {
+                let (time, _, c) = slot_best.expect("slot chosen");
+                if time > until {
+                    break;
+                }
+                debug_assert!(time >= self.now, "slice slots must be monotonic");
+                self.now = time;
+                let slot = self.slice_slots[c].take().expect("slot present");
+                self.stats.events += 1;
+                self.on_slice_check_indexed(Cpu::new(c as u16), slot.pid, slot.gen);
+            } else {
+                let (time, _) = heap_key.expect("heap top chosen");
+                if time > until {
+                    break;
+                }
+                let Reverse(ev) = self.queue.pop().expect("heap top present");
+                debug_assert!(ev.time >= self.now, "event queue must be monotonic");
+                self.now = ev.time;
+                self.stats.events += 1;
+                match ev.kind {
+                    EvKind::OpComplete { pid, gen } => self.on_op_complete(pid, gen),
+                    EvKind::WakeAt { pid } => self.wake_request(pid),
+                    EvKind::SliceCheck { cpu, pid, gen } => {
+                        self.on_slice_check_indexed(cpu, pid, gen)
+                    }
+                }
+            }
+            self.rebalance_if_dirty();
+        }
+    }
+
+    fn run_until_reference(&mut self, until: Nanos) {
         // Initial placement of the ready threads spawned at build time.
-        self.rebalance();
+        self.stats.rebalance_runs += 1;
+        self.rebalance_reference();
         self.flush_switches();
 
         while let Some(&Reverse(ev)) = self.queue.peek() {
@@ -349,21 +615,15 @@ impl Simulator {
             self.queue.pop();
             debug_assert!(ev.time >= self.now, "event queue must be monotonic");
             self.now = ev.time;
+            self.stats.events += 1;
             match ev.kind {
                 EvKind::OpComplete { pid, gen } => self.on_op_complete(pid, gen),
                 EvKind::WakeAt { pid } => self.wake_request(pid),
-                EvKind::SliceCheck { cpu, pid, gen } => self.on_slice_check(cpu, pid, gen),
+                EvKind::SliceCheck { cpu, pid, gen } => self.on_slice_check_reference(cpu, pid, gen),
             }
-            self.rebalance();
+            self.stats.rebalance_runs += 1;
+            self.rebalance_reference();
             self.flush_switches();
-        }
-
-        // Account partial runtimes up to the horizon.
-        self.now = until.max(self.now);
-        for cpu in 0..self.running.len() {
-            if let Some(pid) = self.running[cpu] {
-                self.account_runtime(pid);
-            }
         }
     }
 
@@ -378,7 +638,26 @@ impl Simulator {
     fn push_event(&mut self, time: Nanos, kind: EvKind) {
         let seq = self.seq;
         self.seq += 1;
+        self.stats.heap_pushes += 1;
         self.queue.push(Reverse(Ev { time, seq, kind }));
+    }
+
+    /// Puts a runnable thread on the ready structure of the active engine.
+    /// Every caller is a ready-set mutation, so the dirty flag is raised
+    /// here.
+    fn make_ready(&mut self, idx: usize) {
+        self.dirty = true;
+        match self.engine {
+            Engine::Indexed => {
+                let bucket = self.threads[idx].bucket as usize;
+                self.runqueue.push(bucket, idx as u32);
+            }
+            Engine::Reference => {
+                self.threads[idx].ready_seq = self.ready_ctr;
+                self.ready_ctr += 1;
+                self.ready.push(self.threads[idx].pid);
+            }
+        }
     }
 
     fn emit(&mut self, event: SchedEvent) {
@@ -406,9 +685,7 @@ impl Simulator {
         match self.threads[idx].state {
             RunState::Blocked => {
                 self.threads[idx].state = RunState::Runnable;
-                self.threads[idx].ready_seq = self.ready_ctr;
-                self.ready_ctr += 1;
-                self.ready.push(pid);
+                self.make_ready(idx);
                 let ev = SchedEvent::wakeup(
                     self.now,
                     self.threads[idx].last_cpu,
@@ -433,6 +710,7 @@ impl Simulator {
         let idx = self.index(pid);
         if self.threads[idx].gen != gen || !matches!(self.threads[idx].state, RunState::Running(_))
         {
+            self.stats.stale_pops += 1;
             return; // stale: the thread was descheduled in the meantime
         }
         self.account_runtime(pid);
@@ -440,9 +718,10 @@ impl Simulator {
         self.run_logic(pid);
     }
 
-    fn on_slice_check(&mut self, cpu: Cpu, pid: Pid, gen: u64) {
+    fn on_slice_check_reference(&mut self, cpu: Cpu, pid: Pid, gen: u64) {
         let idx = self.index(pid);
         if self.running[cpu.index()] != Some(pid) || self.threads[idx].gen != gen {
+            self.stats.stale_pops += 1;
             return; // stale
         }
         let my_prio = self.threads[idx].prio;
@@ -457,8 +736,65 @@ impl Simulator {
             self.preempt(pid);
         } else {
             let slice = self.timeslice;
+            self.stats.slice_arms += 1;
             self.push_event(self.now + slice, EvKind::SliceCheck { cpu, pid, gen });
         }
+    }
+
+    fn on_slice_check_indexed(&mut self, cpu: Cpu, pid: Pid, gen: u64) {
+        let idx = self.index(pid);
+        if self.running[cpu.index()] != Some(pid) || self.threads[idx].gen != gen {
+            self.stats.stale_pops += 1;
+            return; // stale
+        }
+        let bucket = self.threads[idx].bucket as usize;
+        if self.has_contender_for(bucket, cpu) {
+            self.preempt(pid);
+        } else {
+            self.arm_slice(cpu, pid, gen);
+        }
+    }
+
+    /// Whether any ready thread in buckets `0..=max_bucket` (i.e. with
+    /// priority >= the bucket's priority) may run on `cpu`.
+    fn has_contender_for(&self, max_bucket: usize, cpu: Cpu) -> bool {
+        let mut b = self.runqueue.first_from(0);
+        while let Some(bi) = b {
+            if bi > max_bucket {
+                return false;
+            }
+            if self.runqueue.buckets[bi]
+                .iter()
+                .any(|&t| self.threads[t as usize].affinity.allows(cpu))
+            {
+                return true;
+            }
+            b = self.runqueue.first_from(bi + 1);
+        }
+        false
+    }
+
+    /// Arms the round-robin slice check for `pid` on `cpu` in the per-CPU
+    /// slot (indexed engine).
+    ///
+    /// The seq bump happens at exactly the position where the reference
+    /// engine pushes its `SliceCheck` heap event, so every event keeps a
+    /// literally identical `(time, seq)` key. For an uncontended thread the
+    /// reference engine would re-arm forever without ever preempting, so
+    /// both the check and its seq bump are elided — dropping entries from
+    /// the push sequence shifts later seqs uniformly and preserves the
+    /// relative order of everything that remains.
+    fn arm_slice(&mut self, cpu: Cpu, pid: Pid, gen: u64) {
+        let idx = self.index(pid);
+        if !self.threads[idx].contended {
+            self.stats.slice_suppressed += 1;
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.slice_arms += 1;
+        self.slice_slots[cpu.index()] =
+            Some(SliceSlot { time: self.now + self.timeslice, seq, pid, gen });
     }
 
     /// Removes `pid` from its CPU. `target` must be `Runnable` (preemption /
@@ -474,16 +810,19 @@ impl Simulator {
         self.threads[idx].gen += 1;
         self.threads[idx].last_cpu = cpu;
         self.running[cpu.index()] = None;
+        // Any armed slice check for this CPU is stale now (the gen bump
+        // above guarantees it would no-op); drop it so the pop loop never
+        // sees it.
+        self.slice_slots[cpu.index()] = None;
+        self.dirty = true;
         if target == RunState::Runnable {
-            self.threads[idx].ready_seq = self.ready_ctr;
-            self.ready_ctr += 1;
-            self.ready.push(pid);
+            self.make_ready(idx);
         }
     }
 
     /// Picks the highest-priority ready thread allowed on `cpu` (FIFO among
-    /// equals) and removes it from the ready list.
-    fn pop_ready_for(&mut self, cpu: Cpu) -> Option<Pid> {
+    /// equals) and removes it from the ready list (reference engine).
+    fn pop_ready_for_reference(&mut self, cpu: Cpu) -> Option<Pid> {
         let mut best: Option<(Priority, u64, usize)> = None;
         for (i, &pid) in self.ready.iter().enumerate() {
             let t = &self.threads[self.index(pid)];
@@ -502,6 +841,25 @@ impl Simulator {
         best.map(|(_, _, i)| self.ready.swap_remove(i))
     }
 
+    /// Picks the highest-priority ready thread allowed on `cpu` (FIFO among
+    /// equals) and removes it from the runqueue (indexed engine): scan
+    /// non-empty buckets highest-priority-first, front-to-back within a
+    /// bucket, and take the first thread whose affinity allows `cpu`.
+    fn pop_ready_for_indexed(&mut self, cpu: Cpu) -> Option<Pid> {
+        let mut b = self.runqueue.first_from(0);
+        while let Some(bi) = b {
+            let hit = self.runqueue.buckets[bi]
+                .iter()
+                .position(|&t| self.threads[t as usize].affinity.allows(cpu));
+            if let Some(pos) = hit {
+                let t = self.runqueue.remove_at(bi, pos);
+                return Some(self.threads[t as usize].pid);
+            }
+            b = self.runqueue.first_from(bi + 1);
+        }
+        None
+    }
+
     fn dispatch(&mut self, pid: Pid, cpu: Cpu) {
         let idx = self.index(pid);
         debug_assert_eq!(self.threads[idx].state, RunState::Runnable);
@@ -514,8 +872,7 @@ impl Simulator {
         match self.threads[idx].remaining {
             Some(rem) => {
                 self.push_event(self.now + rem, EvKind::OpComplete { pid, gen });
-                let slice = self.timeslice;
-                self.push_event(self.now + slice, EvKind::SliceCheck { cpu, pid, gen });
+                self.arm_slice_for_engine(cpu, pid, gen);
             }
             None => {
                 self.run_logic(pid);
@@ -523,9 +880,19 @@ impl Simulator {
                 // the slice timer if it is still on the CPU.
                 if self.running[cpu.index()] == Some(pid) {
                     let gen = self.threads[self.index(pid)].gen;
-                    let slice = self.timeslice;
-                    self.push_event(self.now + slice, EvKind::SliceCheck { cpu, pid, gen });
+                    self.arm_slice_for_engine(cpu, pid, gen);
                 }
+            }
+        }
+    }
+
+    fn arm_slice_for_engine(&mut self, cpu: Cpu, pid: Pid, gen: u64) {
+        match self.engine {
+            Engine::Indexed => self.arm_slice(cpu, pid, gen),
+            Engine::Reference => {
+                let slice = self.timeslice;
+                self.stats.slice_arms += 1;
+                self.push_event(self.now + slice, EvKind::SliceCheck { cpu, pid, gen });
             }
         }
     }
@@ -568,15 +935,114 @@ impl Simulator {
         self.threads[idx].logic = Some(logic);
     }
 
+    /// Runs a scheduling pass only when the ready or running sets changed
+    /// since the last one, then emits the switch diff (indexed engine).
+    ///
+    /// The invariant making the skip exact: whenever `dirty` is false the
+    /// assignment is stable — every mutation of the ready set
+    /// (`make_ready`) or the running set (`deschedule`) raises the flag,
+    /// and a rebalance of a stable state is a no-op (so is its switch
+    /// flush, since `running` only changes under the flag).
+    fn rebalance_if_dirty(&mut self) {
+        if !self.dirty {
+            self.stats.rebalance_skipped += 1;
+            return;
+        }
+        self.stats.rebalance_runs += 1;
+        self.rebalance_indexed();
+        self.flush_switches();
+        // Cleared *after* the pass: dispatches and preemptions inside it
+        // re-raise the flag, but the loop only exits once the assignment
+        // is stable again.
+        self.dirty = false;
+    }
+
+    /// One scheduling pass over the indexed runqueue: fill idle CPUs, then
+    /// resolve preemptions, until the assignment is stable. Candidate order
+    /// (priority desc, FIFO among equals) matches the reference engine's
+    /// sorted-snapshot scan exactly.
+    fn rebalance_indexed(&mut self) {
+        loop {
+            let mut changed = false;
+            // Fill idle CPUs.
+            if !self.runqueue.is_empty() {
+                for c in 0..self.running.len() {
+                    if self.running[c].is_none() {
+                        if let Some(pid) = self.pop_ready_for_indexed(Cpu::new(c as u16)) {
+                            self.dispatch(pid, Cpu::new(c as u16));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // Preemption early-out: a victim must be a *running* thread
+            // with priority strictly below some ready thread's, so if the
+            // best ready priority does not exceed the lowest running
+            // priority there is nothing to scan.
+            let best_ready = self.runqueue.first_from(0);
+            let preemptable = match best_ready {
+                None => false,
+                Some(b) => {
+                    let best_prio = self.bucket_prios[b];
+                    self.running.iter().flatten().any(|&run| {
+                        self.threads[self.index(run)].prio < best_prio
+                    })
+                }
+            };
+            if preemptable {
+                // Scan candidates in (prio desc, FIFO) order: non-empty
+                // buckets ascending, front-to-back within each.
+                let mut found: Option<(usize, usize, Pid, Cpu)> = None;
+                let mut b = best_ready;
+                'outer: while let Some(bi) = b {
+                    for (pos, &t) in self.runqueue.buckets[bi].iter().enumerate() {
+                        let prio = self.threads[t as usize].prio;
+                        let affinity = self.threads[t as usize].affinity;
+                        let mut victim: Option<(Priority, Cpu)> = None;
+                        for c in 0..self.running.len() {
+                            let cpu = Cpu::new(c as u16);
+                            if !affinity.allows(cpu) {
+                                continue;
+                            }
+                            if let Some(run) = self.running[c] {
+                                let rp = self.threads[self.index(run)].prio;
+                                if rp < prio && victim.is_none_or(|(vp, _)| rp < vp) {
+                                    victim = Some((rp, cpu));
+                                }
+                            }
+                        }
+                        if let Some((_, cpu)) = victim {
+                            found = Some((bi, pos, self.threads[t as usize].pid, cpu));
+                            break 'outer;
+                        }
+                    }
+                    b = self.runqueue.first_from(bi + 1);
+                }
+                if let Some((bi, pos, pid, cpu)) = found {
+                    let run = self.running[cpu.index()].expect("victim running");
+                    // `preempt` pushes the victim to the *back* of its
+                    // bucket, so the candidate's position is still valid.
+                    self.preempt(run);
+                    self.runqueue.remove_at(bi, pos);
+                    self.dispatch(pid, cpu);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
     /// One scheduling pass: fill idle CPUs, then resolve preemptions, until
-    /// the assignment is stable.
-    fn rebalance(&mut self) {
+    /// the assignment is stable (reference engine).
+    fn rebalance_reference(&mut self) {
         loop {
             let mut changed = false;
             // Fill idle CPUs.
             for c in 0..self.running.len() {
                 if self.running[c].is_none() {
-                    if let Some(pid) = self.pop_ready_for(Cpu::new(c as u16)) {
+                    if let Some(pid) = self.pop_ready_for_reference(Cpu::new(c as u16)) {
                         self.dispatch(pid, Cpu::new(c as u16));
                         changed = true;
                     }
@@ -942,19 +1408,10 @@ mod tests {
                 }
             }
         }
-        let mut b2 = SimulatorBuilder::new(1);
-        // sleeper pid is allocated on spawn; spawn sleeper second so waker
-        // must signal before the sleeper has ever run.
-        let waker_slot = b2.spawn(
-            "waker",
-            Priority::NORMAL,
-            Affinity::all(),
-            Box::new(ScriptedLogic::new(vec![])), // replaced below
-        );
-        let _ = waker_slot;
-        drop(b2);
-        // Build for real: we know pids are assigned sequentially from 1000.
-        let sleeper_pid = Pid::new(1001);
+        // Spawn the sleeper second so the waker must signal before the
+        // sleeper has ever run. PIDs are sequential (`next_pid`), so the
+        // sleeper — the second spawn — gets next_pid() + 1.
+        let sleeper_pid = Pid::new(b.next_pid().get() + 1);
         let waker = b.spawn(
             "waker",
             Priority::NORMAL,
@@ -1040,6 +1497,100 @@ mod tests {
     #[should_panic]
     fn zero_cpus_rejected() {
         let _ = SimulatorBuilder::new(0);
+    }
+
+    /// Builds the same 3-priority, mixed-affinity machine twice — indexed
+    /// and reference — and pins the full event streams against each other.
+    fn mixed_machine(b: &mut SimulatorBuilder) {
+        for i in 0..6u64 {
+            let prio = Priority::new((i % 3) as i32);
+            let affinity = if i % 2 == 0 {
+                Affinity::all()
+            } else {
+                Affinity::only(Cpu::new((i % 2) as u16))
+            };
+            b.spawn(
+                format!("t{i}"),
+                prio,
+                affinity,
+                Box::new(ScriptedLogic::new(vec![
+                    compute(2 + i % 3),
+                    Op::sleep_until(Nanos::from_millis(8 + i)),
+                    compute(3),
+                    Op::sleep_until(Nanos::from_millis(20 + 2 * i)),
+                    compute(1),
+                ])),
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_engine_matches_reference_stream() {
+        let mut bi = SimulatorBuilder::new(2);
+        mixed_machine(&mut bi);
+        let mut indexed = bi.build();
+        indexed.run_until(Nanos::from_millis(60));
+
+        let mut br = SimulatorBuilder::new(2).reference_engine();
+        mixed_machine(&mut br);
+        let mut reference = br.build();
+        reference.run_until(Nanos::from_millis(60));
+
+        assert_eq!(indexed.sched_events(), reference.sched_events());
+        assert_eq!(indexed.switch_count(), reference.switch_count());
+        for pid in indexed.pids() {
+            assert_eq!(indexed.cpu_time(pid), reference.cpu_time(pid));
+        }
+    }
+
+    #[test]
+    fn stats_track_engine_work() {
+        let mut b = SimulatorBuilder::new(1);
+        for i in 0..2 {
+            b.spawn(
+                format!("t{i}"),
+                Priority::NORMAL,
+                Affinity::all(),
+                Box::new(ScriptedLogic::new(vec![compute(10)])),
+            );
+        }
+        let mut sim = b.build();
+        sim.run_until(Nanos::from_millis(30));
+        let stats = sim.stats();
+        assert!(stats.events > 0, "events must be counted");
+        assert!(stats.heap_pushes > 0, "op completions go through the heap");
+        assert!(stats.slice_arms > 0, "equal priorities arm slice checks");
+        assert!(
+            stats.rebalance_skipped > 0,
+            "slice re-arms must not trigger scheduling passes"
+        );
+        assert_eq!(stats.switches, sim.switch_count());
+        // Two equal-priority threads: nothing is suppressed.
+        assert_eq!(stats.slice_suppressed, 0);
+    }
+
+    #[test]
+    fn lone_top_priority_thread_suppresses_slice_checks() {
+        // One thread strictly above everything else: its slice checks can
+        // never find a contender, so none are armed for it.
+        let mut b = SimulatorBuilder::new(1);
+        b.spawn(
+            "top",
+            Priority::new(9),
+            Affinity::all(),
+            Box::new(ScriptedLogic::new(vec![compute(5)])),
+        );
+        b.spawn(
+            "low",
+            Priority::new(1),
+            Affinity::all(),
+            Box::new(ScriptedLogic::new(vec![compute(5)])),
+        );
+        let mut sim = b.build();
+        sim.run_until(Nanos::from_millis(20));
+        let stats = sim.stats();
+        assert!(stats.slice_suppressed > 0, "top thread's arms are elided");
+        assert!(stats.slice_arms > 0, "low thread still arms (top outranks it)");
     }
 
     #[test]

@@ -35,6 +35,12 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(sync::PoisonError::into_inner)
     }
+
+    /// Borrows the inner value directly: exclusive access is proven by the
+    /// `&mut` receiver, so no locking happens.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+    }
 }
 
 /// A mutex with parking_lot's panic-free API.
